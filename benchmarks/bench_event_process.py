@@ -1,0 +1,170 @@
+"""Event-process microbenchmarks (paper Sections 6.1–6.2):
+
+- kernel-state sizes: 44 bytes per EP vs 320 per process;
+- EP creation vs full process spawn, in modelled cycles;
+- memory cost of dormant vs active EPs;
+- resume-with-state (the session path) end to end.
+"""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.kernel import (
+    EpCheckpoint,
+    EpClean,
+    EpYield,
+    Kernel,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+)
+from repro.kernel.clock import CostModel
+from repro.kernel.event_process import EP_STRUCT_BYTES
+from repro.kernel.process import PROCESS_STRUCT_BYTES
+
+
+def _echo_realm(kernel):
+    """A base process whose EPs echo and persist a counter."""
+
+    def event_body(ectx, msg):
+        count = 0
+        my_port = yield NewPort()
+        yield SetPortLabel(my_port, Label.top())
+        while True:
+            count += 1
+            ectx.mem.store("session", count)
+            yield Send(msg.payload["reply"], {"port": my_port, "count": count})
+            yield EpClean(keep=("session",))
+            msg = yield EpYield()
+
+    def body(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        ctx.env["port"] = port
+        yield EpCheckpoint(event_body)
+
+    proc = kernel.spawn(body, "worker")
+    kernel.run()
+    return proc
+
+
+def test_kernel_state_sizes(benchmark, report):
+    report.header("Event processes — kernel state (paper Section 6.1)")
+    report.compare(
+        [
+            ("event process struct", 44, EP_STRUCT_BYTES, "bytes"),
+            ("minimal process struct", 320, PROCESS_STRUCT_BYTES, "bytes"),
+            ("ratio", round(320 / 44, 1), round(PROCESS_STRUCT_BYTES / EP_STRUCT_BYTES, 1), "x"),
+        ]
+    )
+    cost = CostModel()
+    report.compare(
+        [
+            ("modelled ep_create", "-", cost.ep_create, "cycles"),
+            ("modelled process spawn", "-", cost.spawn, "cycles"),
+        ]
+    )
+    assert cost.ep_create < cost.spawn / 10
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ep_create_throughput(benchmark, report):
+    kernel = Kernel()
+    worker = _echo_realm(kernel)
+    driver_state = {"reply": None, "n": 0}
+
+    def setup_driver(ctx):
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        ctx.env["reply"] = reply
+        while True:
+            yield Recv(port=reply)
+
+    collector = kernel.spawn(setup_driver, "collector")
+    kernel.run()
+    reply = collector.env["reply"]
+
+    def create_one_ep():
+        driver_state["n"] += 1
+        kernel.inject(worker.env["port"], {"reply": reply})
+        kernel.run()
+
+    benchmark.pedantic(create_one_ep, rounds=50, iterations=1)
+    assert len(worker.event_processes) == driver_state["n"]
+    report.header("Event processes — creation")
+    mem = kernel.memory_report()
+    per_ep_pages = mem["total_pages"] / max(driver_state["n"], 1)
+    report.compare(
+        [
+            ("live event processes", "-", len(worker.event_processes), ""),
+            ("total pages / cached EP (incl. base)", "~1.5", round(per_ep_pages, 2), "pages"),
+        ]
+    )
+
+
+def test_ep_resume_keeps_state(benchmark, report):
+    kernel = Kernel()
+    worker = _echo_realm(kernel)
+    seen = []
+
+    def driver(ctx):
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        yield Send(ctx.env["wport"], {"reply": reply})
+        m = yield Recv(port=reply)
+        ep_port = m.payload["port"]
+        ctx.env["ep_port"] = ep_port
+        ctx.env["reply"] = reply
+        while True:
+            m = yield Recv(port=reply)
+            seen.append(m.payload["count"])
+
+    d = kernel.spawn(driver, "driver", env={"wport": worker.env["port"]})
+    kernel.run()
+
+    def resume_once():
+        kernel.inject(d.env["ep_port"], {"reply": d.env["reply"]})
+        kernel.run()
+
+    benchmark.pedantic(resume_once, rounds=50, iterations=1)
+    report.header("Event processes — resume with session state")
+    report.compare(
+        [
+            ("sessions survive resumes (monotonic counter)", "yes",
+             "yes" if seen == sorted(seen) and len(set(seen)) == len(seen) else "NO", ""),
+            ("resumes measured", "-", len(seen), ""),
+        ]
+    )
+    assert seen == sorted(seen)
+    # One EP the whole time — not one per message.
+    assert len(worker.event_processes) == 1
+
+
+def test_dormant_ep_memory_is_one_page(benchmark, report):
+    kernel = Kernel()
+    worker = _echo_realm(kernel)
+    collector_seen = []
+
+    def collector(ctx):
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        ctx.env["reply"] = reply
+        while True:
+            msg = yield Recv(port=reply)
+            collector_seen.append(msg.payload["count"])
+
+    c = kernel.spawn(collector, "collector")
+    kernel.run()
+    base_pages = kernel.accountant.in_use
+    for _ in range(100):
+        kernel.inject(worker.env["port"], {"reply": c.env["reply"]})
+    kernel.run()
+    grown = kernel.accountant.in_use - base_pages
+    report.header("Event processes — dormant (cached) memory")
+    report.compare(
+        [("user pages per dormant EP", 1.0, round(grown / 100, 2), "pages")]
+    )
+    # ep_clean(keep=session) leaves exactly the session page.
+    assert grown == 100
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

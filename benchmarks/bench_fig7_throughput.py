@@ -1,0 +1,100 @@
+"""Figure 7: throughput for various numbers of cached sessions in OKWS,
+compared with Apache and Mod-Apache.
+
+Paper's qualitative shape (the absolute numbers came from hardware):
+
+- with one session, OKWS beats Apache and reaches a bit over half of
+  Mod-Apache;
+- OKWS degrades roughly linearly with cached sessions (label and
+  database costs);
+- it crosses below Apache somewhere past a thousand sessions and ends
+  near half of Apache at 10,000.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, SESSION_GRID
+from repro.baselines import ApacheCgiModel, ModApacheModel
+
+
+@pytest.fixture(scope="module")
+def apache():
+    return ApacheCgiModel().run(4000, concurrency=400)
+
+
+@pytest.fixture(scope="module")
+def mod_apache():
+    return ModApacheModel().run(4000, concurrency=16)
+
+
+def test_fig7_throughput(benchmark, report, session_sweep, apache, mod_apache):
+    report.header("Figure 7 — throughput vs cached OKWS sessions")
+    report.series(
+        "cached sessions -> connections/second (OKWS)",
+        [p.sessions for p in session_sweep],
+        [p.throughput for p in session_sweep],
+        "conn/s",
+    )
+    report.line(f"\n  Apache (CGI, conc 400):   {apache.throughput:8.0f} conn/s")
+    report.line(f"  Mod-Apache (conc 16):     {mod_apache.throughput:8.0f} conn/s")
+
+    okws_1 = session_sweep[0].throughput
+    okws_last = session_sweep[-1].throughput
+    report.compare(
+        [
+            ("OKWS(1) / Mod-Apache ('a bit over half')", 0.55, round(okws_1 / mod_apache.throughput, 2), "x"),
+            ("OKWS(1) vs Apache ('performs better')", ">1", round(okws_1 / apache.throughput, 2), "x"),
+            (
+                f"OKWS({session_sweep[-1].sessions}) / Apache"
+                + (" ('about half')" if FULL else " (reduced grid)"),
+                0.5 if FULL else "n/a",
+                round(okws_last / apache.throughput, 2),
+                "x",
+            ),
+        ]
+    )
+
+    # Shape assertions.
+    assert okws_1 > apache.throughput
+    assert 0.4 <= okws_1 / mod_apache.throughput <= 0.7
+    throughputs = [p.throughput for p in session_sweep]
+    assert all(a >= b for a, b in zip(throughputs, throughputs[1:])), "must degrade monotonically"
+    if FULL:
+        assert okws_last < apache.throughput          # the crossover happened
+        assert okws_last / apache.throughput > 0.35   # "approximately half"
+
+    # Timed unit: one complete authenticated connection on a warm site.
+    from repro.sim.runner import build_echo_site
+    from repro.sim.workload import HttpClient
+
+    site = build_echo_site(16)
+    client = HttpClient(site)
+    counter = {"n": 0}
+
+    def one_connection():
+        i = counter["n"] = counter["n"] + 1
+        client.request(f"u{i % 16}", f"pw{i % 16}", "echo", args={"length": 11})
+
+    benchmark.pedantic(one_connection, rounds=10, iterations=1)
+
+
+def test_fig7_degradation_is_linear_not_quadratic(benchmark, report, session_sweep):
+    # Section 9.3: "linear scaling factors ... lead to linear performance
+    # degradation ... no obviously quadratic or exponential factors".
+    points = [p for p in session_sweep if p.sessions >= 100]
+    if len(points) < 3:
+        pytest.skip("needs at least three sweep points")
+    xs = [p.sessions for p in points]
+    ys = [p.total_kcycles for p in points]
+    # Fit cycles-per-connection = a + b*s on the first and last point, then
+    # check the middle points stay within 25% of the line.
+    b = (ys[-1] - ys[0]) / (xs[-1] - xs[0])
+    a = ys[0] - b * xs[0]
+    report.header("Figure 7/9 — linearity check (Kcycles/connection)")
+    rows = []
+    for x, y in zip(xs, ys):
+        predicted = a + b * x
+        rows.append((f"sessions={x}", round(predicted, 0), round(y, 0), "Kcyc"))
+        assert abs(y - predicted) / predicted < 0.25
+    report.compare(rows)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,131 @@
+"""Design ablation: event processes vs the forked-server model (paper
+Section 6's motivation).
+
+    "One fix is a forked server model, in which each active user has a
+    forked copy of the server process; unfortunately, this resource-heavy
+    architecture burdens the OS with many thousands of processes that
+    need memory allocated and CPU time scheduled."
+
+Both architectures are built on the same simulated kernel and hold the
+same ~1 KB of per-user session state; the bench compares their memory
+footprints and creation costs per user.
+"""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.kernel import (
+    EpCheckpoint,
+    EpClean,
+    EpYield,
+    Kernel,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+from repro.kernel.clock import OTHER
+from repro.kernel.memory import PAGE_SIZE
+
+SESSIONS = 300
+SESSION_BYTES = 1000
+
+
+def _measure_ep_model():
+    """One base process, one event process per user session."""
+    kernel = Kernel()
+
+    def event_body(ectx, msg):
+        ectx.mem.store("session", b"s" * SESSION_BYTES)
+        yield Send(msg.payload["reply"], {"ok": True})
+        yield EpClean(keep=("session",))
+        yield EpYield()
+
+    def base(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        ctx.env["port"] = port
+        yield EpCheckpoint(event_body)
+
+    def collector(ctx):
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        ctx.env["reply"] = reply
+        while True:
+            yield Recv(port=reply)
+
+    worker = kernel.spawn(base, "worker")
+    coll = kernel.spawn(collector, "collector")
+    kernel.run()
+    baseline = kernel.memory_report()["total_bytes"]
+    cycles_before = kernel.clock.now
+    for _ in range(SESSIONS):
+        kernel.inject(worker.env["port"], {"reply": coll.env["reply"]})
+    kernel.run()
+    report = kernel.memory_report()
+    return (
+        (report["total_bytes"] - baseline) / SESSIONS / PAGE_SIZE,
+        (kernel.clock.now - cycles_before) / SESSIONS,
+        kernel,
+    )
+
+
+def _measure_forked_model():
+    """One full process per user session (the pre-Asbestos design)."""
+    kernel = Kernel()
+
+    def session_proc(ctx):
+        ctx.mem.store("session", b"s" * SESSION_BYTES)
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        yield Send(ctx.env["reply"], {"ok": True})
+        while True:
+            yield Recv(port=port)
+
+    def forker(ctx):
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        for i in range(SESSIONS):
+            yield Spawn(session_proc, name=f"session{i}", env={"reply": reply})
+            yield Recv(port=reply)
+
+    baseline_kernel = Kernel()
+    baseline = baseline_kernel.memory_report()["total_bytes"]
+    cycles_before = kernel.clock.now
+    kernel.spawn(forker, "forker")
+    kernel.run()
+    report = kernel.memory_report()
+    return (
+        (report["total_bytes"] - baseline) / SESSIONS / PAGE_SIZE,
+        (kernel.clock.now - cycles_before) / SESSIONS,
+        kernel,
+    )
+
+
+def test_fork_vs_event_process(benchmark, report):
+    ep_pages, ep_cycles, ep_kernel = _measure_ep_model()
+    fork_pages, fork_cycles, fork_kernel = _measure_forked_model()
+
+    report.header("Ablation — event processes vs forked processes "
+                  f"({SESSIONS} sessions, ~{SESSION_BYTES} B state each)")
+    report.compare(
+        [
+            ("pages per session, event processes", "~1.5", round(ep_pages, 2), "pages"),
+            ("pages per session, forked processes", "-", round(fork_pages, 2), "pages"),
+            ("memory ratio fork/EP", ">2", round(fork_pages / ep_pages, 1), "x"),
+            ("creation cycles per session, EP", "-", round(ep_cycles), "cyc"),
+            ("creation cycles per session, fork", "-", round(fork_cycles), "cyc"),
+            ("creation ratio fork/EP", ">3", round(fork_cycles / ep_cycles, 1), "x"),
+        ]
+    )
+    # The paper's claims: EPs cost ~1.5 pages; forks are several times
+    # heavier in both memory and creation cost, and each fork is one more
+    # schedulable process (EPs share one).
+    assert ep_pages < 2.0
+    assert fork_pages / ep_pages > 2.0
+    assert fork_cycles / ep_cycles > 3.0
+    assert len(fork_kernel.processes) >= SESSIONS
+    assert len(ep_kernel.processes) < 5
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Shared machinery for the figure-regenerating benchmarks.
+
+Each ``bench_fig*.py`` regenerates one table or figure from the paper's
+Section 9 and prints paper-vs-measured rows.  The expensive experiments
+(session sweeps) run once per pytest session and are shared between the
+Figure 7 and Figure 9 benches.
+
+Scale: by default the sweeps use a reduced session grid so the whole
+benchmark suite finishes in a few minutes.  Set ``REPRO_FULL_SWEEP=1`` for
+the paper's full grid (1 … 10,000 sessions; expect ~10 minutes for the
+sweep alone).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_SWEEP") == "1"
+
+#: The paper sweeps 0..10,000 cached sessions (x-axes of Figures 6/7/9).
+SESSION_GRID: List[int] = (
+    [1, 100, 1000, 3000, 5000, 7500, 10000] if FULL else [1, 100, 1000, 3000]
+)
+MEMORY_GRID: List[int] = (
+    [0, 1000, 3000, 5000, 10000] if FULL else [0, 500, 1000, 2000]
+)
+MEMORY_GRID_ACTIVE: List[int] = [500, 1500] if not FULL else [1000, 5000]
+
+
+@pytest.fixture
+def report(capsys):
+    """Print figure tables past pytest's output capture, so a plain
+    ``pytest benchmarks/ --benchmark-only`` shows the regenerated rows."""
+
+    class _Reporter:
+        def header(self, title):
+            with capsys.disabled():
+                print_header(title)
+
+        def series(self, name, xs, ys, unit=""):
+            with capsys.disabled():
+                print_series(name, xs, ys, unit)
+
+        def compare(self, rows):
+            with capsys.disabled():
+                paper_vs_measured(rows)
+
+        def line(self, text=""):
+            with capsys.disabled():
+                print(text)
+
+    return _Reporter()
+
+
+@pytest.fixture(scope="session")
+def session_sweep():
+    """The Section 9.2.1 sweep, shared by the Figure 7 and 9 benches."""
+    from repro.sim.runner import run_session_sweep
+
+    return run_session_sweep(SESSION_GRID)
+
+
+def print_header(title: str) -> None:
+    bar = "=" * len(title)
+    print(f"\n\n{title}\n{bar}")
+
+
+def print_series(name: str, xs, ys, unit: str = "") -> None:
+    print(f"\n{name}")
+    for x, y in zip(xs, ys):
+        print(f"  {x:>8g}  {y:>12.1f} {unit}")
+
+
+def paper_vs_measured(rows) -> None:
+    """rows: (label, paper value, measured value, unit)."""
+    print(f"\n  {'quantity':<44} {'paper':>12} {'measured':>12}")
+    for label, paper, measured, unit in rows:
+        paper_s = f"{paper:g} {unit}" if isinstance(paper, (int, float)) else str(paper)
+        meas_s = f"{measured:g} {unit}" if isinstance(measured, (int, float)) else str(measured)
+        print(f"  {label:<44} {paper_s:>12} {meas_s:>12}")

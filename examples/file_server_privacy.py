@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The paper's Section 5.2 worked example (Figure 2), live.
+
+A trusted multi-user file server, shells for users u and v, and u's
+terminal.  The system's goal: u's information passes freely to u's
+terminal while v's (and everyone else's) cannot escape there.
+
+The file server holds declassification privilege (⋆) for both users'
+compartments — so it serves everyone without accumulating taint — and
+re-applies the owner's taint to all file data it returns.
+
+Run:  python examples/file_server_privacy.py
+"""
+
+from repro.core.labels import Label
+from repro.core.levels import L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel import Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
+from repro.servers.fileserver import file_server_body
+
+
+def main() -> None:
+    kernel = Kernel()
+    fs = kernel.spawn(file_server_body, "fs")
+    kernel.run()
+    fs_port = fs.env["fs_port"]
+    terminal_output = []
+
+    def terminal(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        yield Send(ctx.env["mgr"], {"who": "UT", "port": port})
+        while True:
+            msg = yield Recv(port=port)
+            if "data" in msg.payload:
+                terminal_output.append((msg.payload["from"], msg.payload["data"]))
+
+    def shell(ctx):
+        who = ctx.env["who"]
+        chan = yield from Channel.open()
+        yield Send(ctx.env["mgr"], {"who": who, "port": chan.port})
+        setup = yield Recv(port=chan.port)
+        terminal_port = setup.payload["terminal"]
+        # Read u's secret file and try to display it on u's terminal.
+        r = yield from chan.call(fs_port, P.request(P.READ, path="/home/u/secret"))
+        yield Send(terminal_port, {"from": who, "data": r.payload["data"]})
+        print(f"  shell {who}: read the file and wrote it to the terminal")
+
+    def login_manager(ctx):
+        # Decentralized compartment creation: no security administrator.
+        uT = yield NewHandle()
+        vT = yield NewHandle()
+        mgr = yield NewPort()
+        yield SetPortLabel(mgr, Label.top())
+        chan = yield from Channel.open()
+        # Trust the file server with u's compartment and store the secret.
+        yield from chan.call(
+            fs_port,
+            P.request(P.CREATE, path="/home/u/secret", taint=uT, data=b"my diary"),
+            decontaminate_send=Label({uT: STAR}, L3),
+        )
+        yield Spawn(terminal, name="UT", env={"mgr": mgr})
+        yield Spawn(shell, name="U", env={"mgr": mgr, "who": "U"})
+        yield Spawn(shell, name="V", env={"mgr": mgr, "who": "V"})
+        ports = {}
+        for _ in range(3):
+            msg = yield Recv(port=mgr)
+            ports[msg.payload["who"]] = msg.payload["port"]
+        # Figure 2's labels: UT and U are labelled with uT (send {uT 3, 1},
+        # receive {uT 3, 2}); V with vT.
+        yield Send(ports["UT"], {"setup": True},
+                   contaminate=Label({uT: L3}, STAR),
+                   decontaminate_receive=Label({uT: L3}, STAR))
+        yield Send(ports["U"], {"terminal": ports["UT"]},
+                   contaminate=Label({uT: L3}, STAR),
+                   decontaminate_receive=Label({uT: L3}, STAR))
+        yield Send(ports["V"], {"terminal": ports["UT"]},
+                   contaminate=Label({vT: L3}, STAR),
+                   decontaminate_receive=Label({vT: L3}, STAR))
+
+    print("booting Figure 2's world...")
+    kernel.spawn(login_manager, "login-manager")
+    kernel.run()
+
+    print()
+    print("terminal output:", terminal_output)
+    print("kernel drops:   ", kernel.drop_log.records)
+    assert terminal_output == [("U", b"my diary")]
+    # V's READ_R reply was dropped by the kernel: VS ⋢ V's clearance for uT.
+    assert kernel.drop_log.count("label-check") == 1
+    print()
+    print("U's data flowed to U's terminal; V never even received the file")
+    print("contents — the file server's reply to V was dropped at V's own")
+    print("receive label, before any code V controls could run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Per-user home directories on the hierarchical labeled filesystem.
+
+Each user's home directory carries that user's taint compartment, so the
+label policy composes with the namespace:
+
+- any file created under ``/home/u`` contaminates its readers with
+  ``uT 3``, whether or not the file declares anything itself;
+- ``ls /home`` shows each user only the homes they are cleared for —
+  other users' homes are simply absent, because even *existence* is
+  information;
+- writes into a home require its owner's grant handle.
+
+Run:  python examples/home_directories.py
+"""
+
+from repro.core.labels import Label
+from repro.core.levels import L2, L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel import (
+    ChangeLabel,
+    Kernel,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+from repro.servers.filesystem import filesystem_body
+
+
+def main() -> None:
+    kernel = Kernel()
+    fs = kernel.spawn(filesystem_body, "fs9")
+    kernel.run()
+    port = fs.env["fs9_port"]
+    out = {}
+
+    def user_session(ctx):
+        """One logged-in user: write a note in their home, then look around."""
+        me = ctx.env["user"]
+        chan = yield from Channel.open()
+        yield Send(ctx.env["admin_port"], {"user": me, "reply": chan.port})
+        creds = yield Recv(port=chan.port)
+        uT, uG = creds.payload["taint"], creds.payload["grant"]
+        yield ChangeLabel(raise_receive={uT: L3})  # we were granted uT ⋆
+
+        yield from chan.call(port, P.request("ATTACH", fid=0))
+        yield from chan.call(port, P.request("WALK", fid=0, newfid=1, names=["home", me]))
+        yield from chan.call(
+            port,
+            P.request("CREATE", fid=1, name="note.txt", kind="file",
+                      data=f"{me}'s private note".encode()),
+        )
+        # ls /home: only our own home is visible to us.
+        yield from chan.call(port, P.request("WALK", fid=0, newfid=2, names=["home"]))
+        listing = yield from chan.call(
+            port, P.request(P.READ, fid=2), verify=Label({uT: L3}, L2)
+        )
+        out[f"{me} ls /home"] = sorted(e["name"] for e in listing.payload["entries"])
+        # Read our own note back.
+        yield from chan.call(
+            port, P.request("WALK", fid=0, newfid=3, names=["home", me, "note.txt"])
+        )
+        note = yield from chan.call(port, P.request(P.READ, fid=3))
+        out[f"{me} note"] = note.payload["data"].decode()
+
+    def admin(ctx):
+        """Builds /home, mints per-user compartments, logs the users in."""
+        admin_port = yield NewPort()
+        yield SetPortLabel(admin_port, Label.top())
+        chan = yield from Channel.open()
+        yield from chan.call(port, P.request("ATTACH", fid=0))
+        yield from chan.call(port, P.request("CREATE", fid=0, name="home", kind="dir"))
+        yield from chan.call(port, P.request("WALK", fid=0, newfid=1, names=["home"]))
+        handles = {}
+        for user in ("alice", "bob"):
+            uT = yield NewHandle()
+            uG = yield NewHandle()
+            handles[user] = (uT, uG)
+            yield from chan.call(
+                port,
+                P.request("CREATE", fid=1, name=user, kind="dir", taint=uT, grant=uG),
+                decontaminate_send=Label({uT: STAR}, L3),
+            )
+        yield from chan.call(
+            port, P.request("CREATE", fid=0, name="motd", kind="file", data=b"welcome!")
+        )
+        yield Spawn(user_session, name="alice", env={"user": "alice", "admin_port": admin_port})
+        yield Spawn(user_session, name="bob", env={"user": "bob", "admin_port": admin_port})
+        for _ in range(2):
+            hello = yield Recv(port=admin_port)
+            who = hello.payload["user"]
+            wT, wG = handles[who]
+            yield Send(
+                hello.payload["reply"],
+                {"taint": wT, "grant": wG},
+                decontaminate_send=Label({wT: STAR, wG: STAR}, L3),
+            )
+
+    kernel.spawn(admin, "admin")
+    kernel.run()
+
+    for key in sorted(out):
+        print(f"{key:>18}: {out[key]}")
+    assert out["alice ls /home"] == ["alice"]
+    assert out["bob ls /home"] == ["bob"]
+    assert out["alice note"] == "alice's private note"
+    print()
+    print("Each user sees only their own home in /home — the other's very")
+    print("existence is filtered, and its contents would be undeliverable.")
+
+
+if __name__ == "__main__":
+    main()

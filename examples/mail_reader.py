@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""The mail-reader / untrusted-attachment example (paper Section 5.5).
+
+A mail reader must accept contamination from ordinary system processes
+(the file system, say) but wants to talk to an untrusted attachment
+viewer *without* accepting contamination from it — verification labels
+can't help, because by the time V is inspected the taint has landed.
+
+The fix is the *port label*: a verification label imposed by the
+receiver.  The mail reader gives its attachment-facing port the label
+``{2}``; the moment the compromised viewer picks up high taint, the
+kernel itself stops delivering its messages — before any mail-reader
+code runs.
+
+Run:  python examples/mail_reader.py
+"""
+
+from repro.core.labels import Label
+from repro.core.levels import L1, L2, L3, STAR
+from repro.kernel import (
+    ChangeLabel,
+    GetLabels,
+    Kernel,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+
+
+def main() -> None:
+    kernel = Kernel()
+    inbox_log = []
+
+    def mail_reader(ctx):
+        # Port for trusted system services: wide open.
+        system_port = yield NewPort()
+        yield SetPortLabel(system_port, Label.top())
+        # Port for the attachment viewer: pR = {2} — an untainted sender
+        # passes (send default 1 <= 2), a tainted one is refused in-kernel.
+        attachment_port = yield NewPort()
+        yield SetPortLabel(attachment_port, Label({}, L2))
+        ctx.env["system_port"] = system_port
+        ctx.env["attachment_port"] = attachment_port
+        while True:
+            msg = yield Recv()
+            send, _ = yield GetLabels()
+            taint = [lvl for _, lvl in send.entries() if lvl != STAR]
+            inbox_log.append((msg.payload, taint))
+
+    reader = kernel.spawn(mail_reader, "mail-reader")
+    kernel.run()
+
+    def filesystem(ctx):
+        # A system service whose messages the reader must accept, even
+        # with mild (level-2) contamination.
+        h = yield NewHandle()
+        yield Send(
+            reader.env["system_port"],
+            {"from": "fs", "mail": "1 new message"},
+            contaminate=Label({h: L2}, STAR),
+        )
+
+    def attachment_viewer(ctx):
+        # Phase 1: clean, chats with the reader normally.
+        yield Send(reader.env["attachment_port"], {"from": "viewer", "status": "rendering"})
+        # Phase 2: it opens the malicious attachment and picks up taint.
+        evil = yield NewHandle()
+        yield ChangeLabel(send=Label({evil: STAR}, L1).with_entry(evil, L3))
+        # Phase 3: tries to keep talking (exfiltrate into the reader).
+        yield Send(reader.env["attachment_port"], {"from": "viewer", "status": "pwned :)"})
+
+    kernel.spawn(filesystem, "filesystem")
+    kernel.run()
+    kernel.spawn(attachment_viewer, "attachment-viewer")
+    kernel.run()
+
+    print("mail reader received:")
+    for payload, taint in inbox_log:
+        print(f"  {payload}   (reader taint above *: {taint})")
+    print("kernel drops:", kernel.drop_log.records)
+
+    payloads = [p for p, _ in inbox_log]
+    assert {"from": "fs", "mail": "1 new message"} in payloads
+    assert {"from": "viewer", "status": "rendering"} in payloads
+    assert not any(p.get("status") == "pwned :)" for p in payloads)
+    # The reader accepted the filesystem's level-2 contamination...
+    assert any(taint == [L2] for _, taint in inbox_log)
+    print()
+    print("The clean viewer chatted fine; after it got tainted the kernel")
+    print("refused its sends at the port label — the reader never saw them")
+    print("and never risked the contamination. This is a capability-style")
+    print("send right, revoked automatically by information flow.")
+
+
+if __name__ == "__main__":
+    main()

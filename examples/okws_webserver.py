@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The OKWS web server on Asbestos, end to end (paper Section 7).
+
+Boots the full process suite of Figure 1 — netd, launcher, ok-demux, idd,
+ok-dbproxy, per-service workers, a declassifier — then plays three users
+against it:
+
+- per-user sessions cached in event processes (Section 7.3);
+- a database-backed notes service whose isolation is enforced by the
+  kernel dropping other users' rows (Section 7.5);
+- decentralized declassification: alice publishes her profile without any
+  involvement from idd (Section 7.6);
+- a compromised worker trying, and failing, to leak.
+
+Run:  python examples/okws_webserver.py
+"""
+
+from repro.core.labels import Label
+from repro.kernel.syscalls import NewPort, Recv, Send, SetPortLabel
+from repro.okws import ServiceConfig, launch
+from repro.okws.services import (
+    notes_handler,
+    profile_declassifier_handler,
+    profile_handler,
+    session_cache_handler,
+)
+from repro.sim.workload import HttpClient
+
+STOLEN = []
+
+
+def compromised_handler(ectx, request):
+    """A worker an attacker owns: it grabs the session and mails it to the
+    attacker's drop box.  (The send will 'succeed'.)"""
+    request.session["secret"] = request.body
+    if DROPBOX:
+        yield Send(DROPBOX[0], {"stolen": dict(request.session)})
+    return {"headers": "HTTP/1.0 200 OK\r\n\r\n", "body": "served normally"}
+
+
+DROPBOX = []
+
+
+def main() -> None:
+    site = launch(
+        services=[
+            ServiceConfig("cache", session_cache_handler),
+            ServiceConfig("notes", notes_handler),
+            ServiceConfig("profile", profile_handler),
+            ServiceConfig("publish", profile_declassifier_handler, declassifier=True),
+            ServiceConfig("pwned", compromised_handler),
+        ],
+        users=[("alice", "pw-a"), ("bob", "pw-b"), ("carol", "pw-c")],
+        schema=[
+            "CREATE TABLE notes (author TEXT, text TEXT)",
+            "CREATE TABLE profiles (owner TEXT, bio TEXT)",
+        ],
+    )
+    client = HttpClient(site)
+    print("OKWS is up.  processes:",
+          sorted(p.name for p in site.kernel.processes.values()))
+
+    # --- sessions ---------------------------------------------------------------
+    print("\n== sessions (event processes) ==")
+    r1 = client.request("alice", "pw-a", "cache", body=b"visit-1 state")
+    r2 = client.request("alice", "pw-a", "cache", body=b"visit-2 state")
+    print("alice visit 2 sees visit 1's data:", r2.body[:13], "| hits:", r2.payload["hits"])
+    workers = {p.name: p for p in site.kernel.processes.values()}
+    print("cache worker event processes:", len(workers["worker-cache"].event_processes))
+
+    # --- database isolation --------------------------------------------------------
+    print("\n== notes: kernel-enforced row isolation ==")
+    client.request("alice", "pw-a", "notes", body="buy a unicorn", args={"op": "add"})
+    client.request("bob", "pw-b", "notes", body="world domination", args={"op": "add"})
+    print("alice sees:", client.request("alice", "pw-a", "notes", args={"op": "list"}).body)
+    print("bob sees:  ", client.request("bob", "pw-b", "notes", args={"op": "list"}).body)
+
+    # --- declassification --------------------------------------------------------------
+    print("\n== decentralized declassification ==")
+    client.request("alice", "pw-a", "profile", body="alice, esq.", args={"op": "set"})
+    print("bob pre-publish: ", client.request("bob", "pw-b", "profile", args={"op": "get"}).body)
+    client.request("alice", "pw-a", "publish")
+    print("bob post-publish:", client.request("bob", "pw-b", "profile", args={"op": "get"}).body)
+
+    # --- compromise containment --------------------------------------------------------
+    print("\n== compromised worker ==")
+
+    def attacker(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        DROPBOX.append(port)
+        while True:
+            msg = yield Recv(port=port)
+            STOLEN.append(msg.payload)
+
+    site.kernel.spawn(attacker, "attacker")
+    site.kernel.run()
+    r = client.request("carol", "pw-c", "pwned", body=b"carol's credit card")
+    print("carol's request still worked:", r.body)
+    print("attacker received:", STOLEN or "nothing")
+    drops = site.kernel.drop_log
+    print("kernel silently dropped", drops.count("label-check"), "forbidden flows so far")
+    assert STOLEN == []
+    print("\nworker compromise contained: the OS, not the worker, owns the policy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Quickstart: Asbestos labels and IPC in five minutes.
+
+Demonstrates, on a freshly booted simulated kernel:
+
+1. the label lattice (levels ``* < 0 < 1 < 2 < 3``, ⊑/⊔/⊓);
+2. two processes exchanging messages through a port;
+3. contamination: receiving tainted data raises your send label;
+4. the ⋆ level: the compartment creator is immune to its own taint;
+5. the kernel silently dropping a flow the policy forbids.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.labels import Label
+from repro.core.levels import L1, L2, L3, STAR
+from repro.kernel import (
+    GetLabels,
+    Kernel,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+
+
+def main() -> None:
+    # ---- 1. labels are pure values; play with the lattice ------------------
+    uT = 0x1234  # any 61-bit number names a compartment
+    tainted = Label({uT: L3}, L1)       # {uT 3, 1}: has seen u's data
+    clean = Label({}, L1)               # {1}: has not
+    clearance = Label({uT: L3}, L2)     # {uT 3, 2}: may receive u's data
+    print("tainted ⊑ clearance:", tainted <= clearance)          # True
+    print("tainted ⊑ default receive {2}:", tainted <= Label({}, L2))  # False
+    print("join:", (tainted | clean), " meet:", (tainted & clean))
+
+    # ---- 2-5. processes under the kernel -----------------------------------
+    kernel = Kernel()
+    transcript = []
+
+    def alice(ctx):
+        """Creates a compartment, serves one secret, stays clean."""
+        secret_compartment = yield NewHandle()          # PS(h) <- ⋆
+        inbox = yield NewPort()
+        yield SetPortLabel(inbox, Label.top())          # open to everyone
+        ctx.env["inbox"] = inbox
+        ctx.env["compartment"] = secret_compartment
+        while True:
+            msg = yield Recv(port=inbox)
+            # Reply with the secret, contaminated with our compartment, and
+            # raise the asker's clearance so the reply can land (we hold ⋆).
+            yield Send(
+                msg.payload["reply"],
+                {"secret": "the launch code is 0000"},
+                contaminate=Label({secret_compartment: L3}, STAR),
+                decontaminate_receive=Label({secret_compartment: L3}, STAR),
+            )
+
+    def bob(ctx):
+        """Asks for the secret, gets tainted, then tries to leak it."""
+        reply = yield NewPort()
+        yield SetPortLabel(reply, Label.top())
+        yield Send(ctx.env["alice_inbox"], {"reply": reply})
+        msg = yield Recv(port=reply)
+        send_label, _ = yield GetLabels()
+        transcript.append(("bob received", msg.payload["secret"]))
+        transcript.append(
+            ("bob's taint", send_label(ctx.env["compartment"]))
+        )
+        # Now try to tell the (untainted) world:
+        yield Send(ctx.env["eve_inbox"], {"leak": msg.payload["secret"]})
+        transcript.append(("bob attempted the leak", True))
+
+    def eve(ctx):
+        inbox = yield NewPort()
+        yield SetPortLabel(inbox, Label.top())
+        ctx.env["inbox"] = inbox
+        msg = yield Recv(port=inbox)
+        transcript.append(("EVE GOT", msg.payload))  # must never happen
+
+    alice_proc = kernel.spawn(alice, "alice")
+    eve_proc = kernel.spawn(eve, "eve")
+    kernel.run()
+    kernel.spawn(
+        bob,
+        "bob",
+        env={
+            "alice_inbox": alice_proc.env["inbox"],
+            "eve_inbox": eve_proc.env["inbox"],
+            "compartment": alice_proc.env["compartment"],
+        },
+    )
+    kernel.run()
+
+    print()
+    for entry in transcript:
+        print(*entry)
+    print()
+    print("eve is still waiting:", eve_proc.state)
+    print("kernel drop log:", kernel.drop_log.records)
+    assert ("bob attempted the leak", True) in transcript
+    assert not any(name == "EVE GOT" for name, _ in transcript)
+    print("\nThe send 'succeeded', the message never arrived: unreliable")
+    print("sends mean even bob cannot tell the kernel stopped him.")
+
+
+if __name__ == "__main__":
+    main()

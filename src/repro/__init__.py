@@ -1,0 +1,36 @@
+"""asbestos-repro: a Python reproduction of "Labels and Event Processes
+in the Asbestos Operating System" (SOSP 2005).
+
+Quick tour of the public surface:
+
+- :mod:`repro.core` — the label algebra: :class:`~repro.core.labels.Label`,
+  levels ``STAR < 0 < 1 < 2 < 3``, 61-bit handles.
+- :mod:`repro.kernel` — the simulated OS: :class:`~repro.kernel.Kernel`,
+  the syscall objects program generators yield, event processes.
+- :mod:`repro.okws` — the OKWS web server: :func:`~repro.okws.launch`,
+  :class:`~repro.okws.ServiceConfig`, the worker framework.
+- :mod:`repro.sim` — workload generation and the experiment drivers that
+  regenerate the paper's figures.
+- :mod:`repro.policies` — MLS, capability and integrity recipes.
+- :mod:`repro.covert` — the Section 8 storage channels and mitigation.
+
+Start with ``python examples/quickstart.py`` or ``python -m repro``.
+"""
+
+from repro.core import Label, STAR, L0, L1, L2, L3, Handle, HandleAllocator
+from repro.kernel import Kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Label",
+    "STAR",
+    "L0",
+    "L1",
+    "L2",
+    "L3",
+    "Handle",
+    "HandleAllocator",
+    "Kernel",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Comparison systems for Figures 7 and 8: Apache 1.3.33 with CGI and
+Apache with an in-process module ("Mod-Apache"), modelled as cost
+simulations on a conventional Unix substrate."""
+
+from repro.baselines.apache import ApacheCgiModel, ModApacheModel, ServerRunResult
+from repro.baselines.unix import UnixCosts
+
+__all__ = ["ApacheCgiModel", "ModApacheModel", "ServerRunResult", "UnixCosts"]

@@ -1,0 +1,130 @@
+"""Apache baseline models (paper Section 9.2).
+
+Both models run the paper's test application — respond with a string of
+characters whose length depends on the client's parameters — under a
+closed-loop client, on one CPU:
+
+- **Apache + CGI** forks and execs the CGI binary per request, pays pipe
+  IPC and process reaping, and provides *some* isolation between services
+  (but none between users, and no chroot by default).
+- **Mod-Apache** runs the handler in-process: no isolation at all, and the
+  fastest possible path (the paper: "can handle Web requests with simple
+  library calls").
+
+The simulation is a deterministic single-server closed queue with
+multiplicative service jitter; see :class:`~repro.baselines.unix.UnixCosts`
+for the calibrated constants.  Wall-clock is virtual (cycles at 2.8 GHz).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.baselines.unix import UnixCosts, cycles_to_us
+from repro.kernel.clock import CPU_HZ
+
+
+@dataclass
+class ServerRunResult:
+    """Outcome of one closed-loop run."""
+
+    latencies_us: List[float]
+    total_cycles: float
+
+    @property
+    def throughput(self) -> float:
+        """Completed connections per second of virtual time."""
+        if self.total_cycles == 0:
+            return 0.0
+        return len(self.latencies_us) / (self.total_cycles / CPU_HZ)
+
+
+class _ClosedLoopServer:
+    """One CPU serving a closed-loop population of client connections.
+
+    Each of *concurrency* clients keeps exactly one request outstanding;
+    the CPU serves requests in arrival order.  Latency is queueing plus
+    jittered service time plus a small client-side network component that
+    does not occupy the server CPU.
+    """
+
+    #: Wire/client overhead per request (LAN RTT + client stack), cycles.
+    NETWORK_CYCLES = 180_000
+
+    def __init__(self, service_cycles: int, jitter: float, seed: int = 2005):
+        self.service_cycles = service_cycles
+        self.jitter = jitter
+        self.rng = random.Random(seed)
+
+    def _service(self) -> float:
+        if self.jitter <= 0:
+            return float(self.service_cycles)
+        return self.service_cycles * self.rng.lognormvariate(0.0, self.jitter)
+
+    def run(self, n_requests: int, concurrency: int) -> ServerRunResult:
+        if n_requests <= 0 or concurrency <= 0:
+            raise ValueError("n_requests and concurrency must be positive")
+        latencies: List[float] = []
+        cpu_free = 0.0
+        # Each client slot's next arrival time at the server.
+        slots = [0.0] * min(concurrency, n_requests)
+        issued = 0
+        finish_last = 0.0
+        # Closed loop: repeatedly pick the slot with the earliest arrival.
+        pending = list(range(len(slots)))
+        while issued < n_requests:
+            slot = min(range(len(slots)), key=lambda i: slots[i])
+            arrival = slots[slot]
+            start = max(arrival, cpu_free)
+            service = self._service()
+            finish = start + service
+            cpu_free = finish
+            latency = finish - arrival + self.NETWORK_CYCLES
+            latencies.append(cycles_to_us(latency))
+            finish_last = max(finish_last, finish + self.NETWORK_CYCLES)
+            slots[slot] = finish + self.NETWORK_CYCLES  # client thinks ~0
+            issued += 1
+        return ServerRunResult(latencies_us=latencies, total_cycles=finish_last)
+
+
+@dataclass
+class ApacheCgiModel:
+    """Apache 1.3.33 with the test app as a forked CGI binary."""
+
+    costs: UnixCosts = field(default_factory=UnixCosts)
+    seed: int = 2005
+
+    def service_cycles(self) -> int:
+        c = self.costs
+        return (
+            c.accept_dispatch
+            + c.tcp_per_conn
+            + c.server_overhead
+            + c.fork_exec
+            + c.pipe_roundtrip
+            + c.handler
+            + c.reap
+        )
+
+    def run(self, n_requests: int, concurrency: int = 400) -> ServerRunResult:
+        sim = _ClosedLoopServer(self.service_cycles(), self.costs.fork_jitter, self.seed)
+        return sim.run(n_requests, concurrency)
+
+
+@dataclass
+class ModApacheModel:
+    """Apache with the test app as an in-process module."""
+
+    costs: UnixCosts = field(default_factory=UnixCosts)
+    seed: int = 2005
+
+    def service_cycles(self) -> int:
+        c = self.costs
+        return c.accept_dispatch + c.tcp_per_conn + c.server_overhead + c.handler
+
+    def run(self, n_requests: int, concurrency: int = 16) -> ServerRunResult:
+        sim = _ClosedLoopServer(self.service_cycles(), self.costs.inproc_jitter, self.seed)
+        return sim.run(n_requests, concurrency)

@@ -1,0 +1,45 @@
+"""Cost constants for the conventional-Unix substrate.
+
+The paper's baselines run on Linux 2.6-era hardware (a 2.8 GHz Pentium 4).
+These constants model the per-request work of that stack; they are the
+only calibrated inputs to the Apache models.  Jitter factors reproduce the
+latency *spread* (fork+exec and scheduling make CGI latency long-tailed;
+in-process handlers are nearly deterministic — compare the paper's
+Figure 8 p90/median ratios: 1.56 for Apache+CGI, 1.016 for Mod-Apache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.clock import CPU_HZ
+
+
+@dataclass(frozen=True)
+class UnixCosts:
+    """Cycle costs of Unix primitives on the modelled hardware."""
+
+    #: fork() of a pre-forked Apache child handling a connection slot.
+    accept_dispatch: int = 90_000
+    #: fork() + execve() of a CGI binary.
+    fork_exec: int = 1_230_000
+    #: One pipe round trip between Apache and the CGI.
+    pipe_roundtrip: int = 180_000
+    #: Kernel TCP work per connection (accept/read/write/close).
+    tcp_per_conn: int = 260_000
+    #: The test application itself (builds a 144-byte response).
+    handler: int = 120_000
+    #: Apache request parsing and logging-disabled bookkeeping.
+    server_overhead: int = 230_000
+    #: Process-exit reaping for a finished CGI.
+    reap: int = 140_000
+
+    #: Multiplicative latency jitter (lognormal sigma) for forked paths —
+    #: scheduler and page-cache variance dominate forked request latency.
+    fork_jitter: float = 0.52
+    #: Jitter for in-process paths.
+    inproc_jitter: float = 0.01
+
+
+def cycles_to_us(cycles: float) -> float:
+    return cycles / CPU_HZ * 1e6

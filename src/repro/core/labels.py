@@ -1,0 +1,276 @@
+"""Asbestos labels.
+
+A label is a total function from handles to levels, represented as an
+explicit map for finitely many handles plus a *default* level for all
+others (paper Section 5.1).  We write labels the way the paper does:
+``{h1 0, h2 1, 2}`` maps ``h1`` to 0, ``h2`` to 1 and everything else to 2.
+
+Labels form a lattice under the pointwise order:
+
+- ``L1 <= L2``  iff  ``L1(h) <= L2(h)`` for all handles ``h``  (⊑)
+- ``L1 | L2``   is the least upper bound: pointwise max  (⊔)
+- ``L1 & L2``   is the greatest lower bound: pointwise min  (⊓)
+- ``L.stars()`` is the stars-only projection ``L*``: ``*`` where ``L`` is
+  ``*``, ``3`` everywhere else.
+
+Instances are immutable; every operator returns a new label.  Entries equal
+to the default level are normalised away so that structurally different
+spellings of the same function compare (and hash) equal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.core.handles import HANDLE_SPACE, Handle
+from repro.core.levels import (
+    L1,
+    L2,
+    L3,
+    STAR,
+    Level,
+    check_level,
+    level_from_wire,
+    level_name,
+    level_to_wire,
+)
+
+
+class Label:
+    """An immutable Asbestos label: finitely many explicit (handle, level)
+    entries over a default level.
+
+    >>> u = 42
+    >>> lab = Label({u: 3}, default=1)
+    >>> lab(u), lab(7)
+    (3, 1)
+    """
+
+    __slots__ = ("_entries", "_default", "_hash")
+
+    def __init__(self, entries: Optional[Mapping[Handle, Level]] = None, default: Level = L1):
+        check_level(default)
+        normalised: Dict[Handle, Level] = {}
+        if entries:
+            for handle, level in entries.items():
+                check_level(level)
+                if not 0 <= handle < HANDLE_SPACE:
+                    raise ValueError(f"handle out of 61-bit range: {handle!r}")
+                if level != default:
+                    normalised[handle] = level
+        self._entries: Dict[Handle, Level] = normalised
+        self._default: Level = default
+        self._hash: Optional[int] = None
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def uniform(cls, default: Level) -> "Label":
+        """The constant label ``{default}``."""
+        return cls({}, default)
+
+    @classmethod
+    def send_default(cls) -> "Label":
+        """A fresh process's send label, ``{1}``."""
+        return cls({}, L1)
+
+    @classmethod
+    def receive_default(cls) -> "Label":
+        """A fresh process's receive label, ``{2}``."""
+        return cls({}, L2)
+
+    @classmethod
+    def bottom(cls) -> "Label":
+        """The lowest label ``{*}`` — the identity for contamination (⊔)."""
+        return cls({}, STAR)
+
+    @classmethod
+    def top(cls) -> "Label":
+        """The highest label ``{3}`` — the identity for restriction (⊓)."""
+        return cls({}, L3)
+
+    # -- the label-as-function view -------------------------------------------
+
+    def __call__(self, handle: Handle) -> Level:
+        """Evaluate the label at *handle* (the paper's ``L(h)``)."""
+        return self._entries.get(handle, self._default)
+
+    @property
+    def default(self) -> Level:
+        """The level assigned to every handle not explicitly listed."""
+        return self._default
+
+    def entries(self) -> Iterator[Tuple[Handle, Level]]:
+        """Iterate over the explicit (handle, level) entries, sorted by handle."""
+        return iter(sorted(self._entries.items()))
+
+    def handles(self) -> Iterator[Handle]:
+        """Iterate over explicitly mentioned handles, sorted."""
+        return iter(sorted(self._entries))
+
+    def __len__(self) -> int:
+        """Number of explicit entries (the label's *size*, which drives the
+        linear costs measured in Figure 9)."""
+        return len(self._entries)
+
+    def __contains__(self, handle: Handle) -> bool:
+        return handle in self._entries
+
+    # -- lattice structure -----------------------------------------------------
+
+    def __le__(self, other: "Label") -> bool:
+        """The partial order ⊑: pointwise level comparison.
+
+        Only handles explicit in either label need inspection; all other
+        handles compare default-to-default.
+        """
+        if not isinstance(other, Label):
+            return NotImplemented
+        if self._default > other._default:
+            return False
+        for handle, level in self._entries.items():
+            if level > other(handle):
+                return False
+        # Handles explicit only in `other` take self's default on the left.
+        for handle, level in other._entries.items():
+            if handle not in self._entries and self._default > level:
+                return False
+        return True
+
+    def __ge__(self, other: "Label") -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return other.__le__(self)
+
+    # NB: ⊑ is a partial order; L1 < L2 is "dominated and not equal".
+    def __lt__(self, other: "Label") -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self != other and self <= other
+
+    def __gt__(self, other: "Label") -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self != other and self >= other
+
+    def __or__(self, other: "Label") -> "Label":
+        """Least upper bound ⊔ (pointwise max) — used to contaminate."""
+        if not isinstance(other, Label):
+            return NotImplemented
+        default = max(self._default, other._default)
+        combined: Dict[Handle, Level] = {}
+        for handle in set(self._entries) | set(other._entries):
+            combined[handle] = max(self(handle), other(handle))
+        return Label(combined, default)
+
+    def __and__(self, other: "Label") -> "Label":
+        """Greatest lower bound ⊓ (pointwise min) — used to declassify."""
+        if not isinstance(other, Label):
+            return NotImplemented
+        default = min(self._default, other._default)
+        combined: Dict[Handle, Level] = {}
+        for handle in set(self._entries) | set(other._entries):
+            combined[handle] = min(self(handle), other(handle))
+        return Label(combined, default)
+
+    def stars(self) -> "Label":
+        """The stars-only projection ``L*`` of Figure 3.
+
+        ``L*(h)`` is ``*`` where ``L(h) = *`` and ``3`` otherwise.  In the
+        contamination rule (Equation 5), ``ES ⊓ QS*`` protects a receiver's
+        ``*`` entries from being overwritten by incoming taint.
+        """
+        default = STAR if self._default == STAR else L3
+        # Every explicit entry maps to * or 3; the Label constructor
+        # normalises away whichever equals the result default.
+        mapped = {
+            h: (STAR if lvl == STAR else L3) for h, lvl in self._entries.items()
+        }
+        return Label(mapped, default)
+
+    # -- functional updates ----------------------------------------------------
+
+    def with_entry(self, handle: Handle, level: Level) -> "Label":
+        """A copy of this label with ``L(handle) = level``."""
+        check_level(level)
+        updated = dict(self._entries)
+        if level == self._default:
+            updated.pop(handle, None)
+        else:
+            updated[handle] = level
+        return Label(updated, self._default)
+
+    def without(self, handle: Handle) -> "Label":
+        """A copy with *handle* back at the default level."""
+        return self.with_entry(handle, self._default)
+
+    def controls(self, handle: Handle) -> bool:
+        """True if this (send) label holds ``*`` for *handle*, i.e. the
+        process controls — may declassify within — that compartment."""
+        return self(handle) == STAR
+
+    # -- wire encoding (Section 5.6 user-space format) --------------------------
+
+    def to_words(self) -> Tuple[int, ...]:
+        """Pack into 64-bit words: handle in the upper 61 bits, level wire
+        code in the lower 3.  The final word carries handle 0 with the
+        default level (a sentinel mirroring the paper's trailing default)."""
+        words = [
+            (handle << 3) | level_to_wire(level) for handle, level in self.entries()
+        ]
+        words.append(level_to_wire(self._default))
+        return tuple(words)
+
+    @classmethod
+    def from_words(cls, words: Iterable[int]) -> "Label":
+        """Inverse of :meth:`to_words`."""
+        seq = list(words)
+        if not seq:
+            raise ValueError("empty word sequence has no default level")
+        default = level_from_wire(seq[-1] & 0b111)
+        entries = {word >> 3: level_from_wire(word & 0b111) for word in seq[:-1]}
+        return cls(entries, default)
+
+    # -- value semantics ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self._default == other._default and self._entries == other._entries
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._default, frozenset(self._entries.items())))
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [f"h{handle:x} {level_name(level)}" for handle, level in self.entries()]
+        parts.append(level_name(self._default))
+        return "{" + ", ".join(parts) + "}"
+
+    def format(self, names: Mapping[Handle, str]) -> str:
+        """Pretty-print using symbolic handle names (for examples/docs)."""
+        parts = [
+            f"{names.get(handle, f'h{handle:x}')} {level_name(level)}"
+            for handle, level in self.entries()
+        ]
+        parts.append(level_name(self._default))
+        return "{" + ", ".join(parts) + "}"
+
+
+#: The default contamination label ``{*}``: adds no contamination (§5.2).
+DEFAULT_CONTAMINATION = Label.bottom()
+#: The default decontaminate-send label ``{3}``: lowers nothing.
+DEFAULT_DECONTAMINATE_SEND = Label.top()
+#: The default decontaminate-receive label ``{*}``: raises nothing.
+DEFAULT_DECONTAMINATE_RECEIVE = Label.bottom()
+#: The default verification label ``{3}``: restricts nothing.
+DEFAULT_VERIFY = Label.top()
+#: The default port label ``{3}``: no restriction beyond the receive label.
+DEFAULT_PORT_LABEL = Label.top()

@@ -1,0 +1,16 @@
+"""The storage channels of paper Section 8, and their mitigation.
+
+Asbestos aims not to eliminate covert channels but to ensure exploiting a
+storage channel requires *at least two cooperating processes*, so that a
+hardened kernel can mitigate them by limiting process creation rates.
+This package demonstrates both inherent channels working, and the
+fork-rate mitigation cutting them off.
+"""
+
+from repro.covert.channels import (
+    label_observation_channel,
+    yield_order_channel,
+)
+from repro.covert.mitigation import ForkRateLimiter
+
+__all__ = ["label_observation_channel", "yield_order_channel", "ForkRateLimiter"]

@@ -1,0 +1,37 @@
+"""Mitigating the Section 8 storage channels by limiting process creation.
+
+Both inherent storage channels — label observation and shared program
+counters — require at least two cooperating processes *per transmitted
+bit* (contaminated processes cannot be reused).  Asbestos's design
+therefore anticipates a hardened kernel limiting process creation rates;
+:class:`ForkRateLimiter` is that hook, installable as
+``kernel.fork_limiter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ForkRateLimiter:
+    """A per-parent spawn budget.
+
+    The budget is deliberately simple (a hardened kernel would use a
+    replenishing rate); what matters for the covert-channel argument is
+    that the attacker's cost is *processes per bit*, so any cap on
+    process creation caps the channel's total capacity.
+    """
+
+    budget: int = 16
+    spent: Dict[str, int] = field(default_factory=dict)
+    denied: int = 0
+
+    def __call__(self, parent) -> bool:
+        used = self.spent.get(parent.key, 0)
+        if used >= self.budget:
+            self.denied += 1
+            return False
+        self.spent[parent.key] = used + 1
+        return True

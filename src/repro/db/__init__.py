@@ -1,0 +1,14 @@
+"""An in-memory relational engine standing in for the paper's SQLite.
+
+The paper ports SQLite to Asbestos and interposes ok-dbproxy on all
+database access (Section 7.5).  This package provides the substrate that
+port relied on: a small relational engine (:mod:`repro.db.engine`) with a
+SQL subset parser (:mod:`repro.db.sql`).  Like the paper's setup, all data
+lives in memory, and lookups are unindexed linear scans — which is what
+makes authentication cost grow with the user population in Figure 9.
+"""
+
+from repro.db.engine import Database, Table
+from repro.db.sql import SqlError, parse
+
+__all__ = ["Database", "Table", "SqlError", "parse"]

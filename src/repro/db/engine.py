@@ -1,0 +1,214 @@
+"""The relational engine.
+
+Tables are lists of row dicts; every SELECT/UPDATE/DELETE is a linear scan
+(no indexes — matching the unoptimised SQLite setup whose cost growth the
+paper observes in Figure 9).  The engine reports how many rows each
+statement scanned so callers (ok-dbproxy) can charge realistic cycle
+costs.
+
+The engine itself knows nothing about labels or users; the Asbestos
+security semantics live entirely in :mod:`repro.servers.dbproxy`, which is
+the component the paper actually trusts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db import sql as S
+
+_PY_TYPES = {
+    "INTEGER": int,
+    "TEXT": str,
+    "BLOB": (bytes, bytearray),
+    "REAL": (int, float),
+}
+
+
+@dataclass
+class Table:
+    name: str
+    columns: Tuple[Tuple[str, str], ...]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    #: Simulation-only equality indexes: frozenset(columns) -> values -> rows.
+    #: The *modelled* engine is unindexed — SELECT still reports a full
+    #: linear scan (the cost the paper's Figure 9 measures) — but repeated
+    #: Python-side scans of a 10,000-row user table would dominate the
+    #: simulator's wall-clock, so lookups are served from these maps.
+    _indexes: Dict[frozenset, Dict[tuple, List[Dict[str, Any]]]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def column_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.columns)
+
+    def invalidate_indexes(self) -> None:
+        self._indexes.clear()
+
+    def lookup(self, conditions: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Equality lookup via a lazily built index."""
+        key = frozenset(conditions)
+        index = self._indexes.get(key)
+        if index is None:
+            cols = sorted(key)
+            index = {}
+            for row in self.rows:
+                index.setdefault(tuple(row.get(c) for c in cols), []).append(row)
+            self._indexes[key] = index
+        return index.get(tuple(conditions[c] for c in sorted(key)), [])
+
+    def check_value(self, column: str, value: Any) -> None:
+        for name, col_type in self.columns:
+            if name == column:
+                if value is not None and not isinstance(value, _PY_TYPES[col_type]):
+                    raise S.SqlError(
+                        f"{self.name}.{column}: expected {col_type}, got {type(value).__name__}"
+                    )
+                return
+        raise S.SqlError(f"no column {column!r} in table {self.name!r}")
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    rows_affected: int = 0
+    rows_scanned: int = 0
+
+
+class Database:
+    """A named collection of tables with a statement executor."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Table] = {}
+        self.total_rows_scanned = 0
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, statement: str, params: Sequence[Any] = ()) -> Result:
+        """Parse and run one statement with ``?`` parameters bound from
+        *params* (left to right)."""
+        ast = S.parse(statement)
+        return self.run(ast, params)
+
+    def run(self, ast: S.Statement, params: Sequence[Any] = ()) -> Result:
+        if isinstance(ast, S.CreateTable):
+            return self._create(ast)
+        if isinstance(ast, S.Insert):
+            return self._insert(ast, params)
+        if isinstance(ast, S.Select):
+            return self._select(ast, params)
+        if isinstance(ast, S.Update):
+            return self._update(ast, params)
+        if isinstance(ast, S.Delete):
+            return self._delete(ast, params)
+        raise S.SqlError(f"unsupported statement: {ast!r}")
+
+    # -- statement handlers ------------------------------------------------------
+
+    def _table(self, name: str) -> Table:
+        table = self.tables.get(name)
+        if table is None:
+            raise S.SqlError(f"no such table: {name!r}")
+        return table
+
+    def _create(self, ast: S.CreateTable) -> Result:
+        if ast.table in self.tables:
+            raise S.SqlError(f"table exists: {ast.table!r}")
+        names = [name for name, _ in ast.columns]
+        if len(set(names)) != len(names):
+            raise S.SqlError(f"duplicate column in {ast.table!r}")
+        self.tables[ast.table] = Table(ast.table, ast.columns)
+        return Result()
+
+    def _bind(self, value: S.Value, params: Sequence[Any]) -> Any:
+        if isinstance(value, S.Placeholder):
+            if value.index >= len(params):
+                raise S.SqlError(
+                    f"statement needs parameter {value.index + 1}, got {len(params)}"
+                )
+            return params[value.index]
+        return value
+
+    def _matches(
+        self,
+        row: Dict[str, Any],
+        where: Tuple[S.Condition, ...],
+        params: Sequence[Any],
+    ) -> bool:
+        return all(row.get(c.column) == self._bind(c.value, params) for c in where)
+
+    def _insert(self, ast: S.Insert, params: Sequence[Any]) -> Result:
+        table = self._table(ast.table)
+        row = {name: None for name in table.column_names}
+        for column, value in zip(ast.columns, ast.values):
+            bound = self._bind(value, params)
+            table.check_value(column, bound)
+            row[column] = bound
+        table.rows.append(row)
+        table.invalidate_indexes()
+        return Result(rows_affected=1)
+
+    def _select(self, ast: S.Select, params: Sequence[Any]) -> Result:
+        table = self._table(ast.table)
+        wanted = table.column_names if ast.columns == ("*",) else ast.columns
+        for column in wanted:
+            if column not in table.column_names:
+                raise S.SqlError(f"no column {column!r} in table {table.name!r}")
+        for condition in ast.where:
+            if condition.column not in table.column_names:
+                raise S.SqlError(
+                    f"no column {condition.column!r} in table {table.name!r}"
+                )
+        result = Result()
+        # The modelled engine scans linearly (every row is "scanned" for
+        # the cost model); the simulation serves the matches from an index.
+        result.rows_scanned = len(table.rows)
+        if ast.where and len({c.column for c in ast.where}) == len(ast.where):
+            bound = {c.column: self._bind(c.value, params) for c in ast.where}
+            matches = table.lookup(bound)
+        elif ast.where:
+            # Duplicate columns in the WHERE (e.g. "a = 1 AND a = 2"):
+            # fall back to the honest scan.
+            matches = [
+                row for row in table.rows if self._matches(row, ast.where, params)
+            ]
+        else:
+            matches = table.rows
+        for row in matches:
+            result.rows.append({column: row[column] for column in wanted})
+        self.total_rows_scanned += result.rows_scanned
+        return result
+
+    def _update(self, ast: S.Update, params: Sequence[Any]) -> Result:
+        table = self._table(ast.table)
+        result = Result()
+        for row in table.rows:
+            result.rows_scanned += 1
+            if self._matches(row, ast.where, params):
+                for column, value in ast.assignments:
+                    bound = self._bind(value, params)
+                    table.check_value(column, bound)
+                    row[column] = bound
+                result.rows_affected += 1
+        table.invalidate_indexes()
+        self.total_rows_scanned += result.rows_scanned
+        return result
+
+    def _delete(self, ast: S.Delete, params: Sequence[Any]) -> Result:
+        table = self._table(ast.table)
+        result = Result()
+        kept: List[Dict[str, Any]] = []
+        for row in table.rows:
+            result.rows_scanned += 1
+            if self._matches(row, ast.where, params):
+                result.rows_affected += 1
+            else:
+                kept.append(row)
+        table.rows = kept
+        table.invalidate_indexes()
+        self.total_rows_scanned += result.rows_scanned
+        return result

@@ -1,0 +1,251 @@
+"""A small SQL parser.
+
+Supports the subset OKWS needs (and a little more, so examples and tests
+can write natural schemas):
+
+.. code-block:: sql
+
+    CREATE TABLE users (uid INTEGER, name TEXT, password TEXT)
+    INSERT INTO users (uid, name, password) VALUES (?, ?, ?)
+    SELECT uid, name FROM users WHERE name = ? AND password = ?
+    SELECT * FROM users
+    UPDATE users SET password = ? WHERE uid = ?
+    DELETE FROM users WHERE uid = ?
+
+Only equality predicates joined by AND; values are ``?`` placeholders,
+integer literals, or single-quoted strings.  That is all the paper's
+workloads use, and keeping the grammar small keeps the engine honest (no
+accidental indexes or query planning — every scan is linear, as in the
+paper's unoptimised setup).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+
+class SqlError(Exception):
+    """Malformed SQL or a semantic error (unknown table/column)."""
+
+
+@dataclass(frozen=True)
+class Placeholder:
+    """A ``?`` parameter slot, numbered left to right."""
+
+    index: int
+
+
+Value = Union[int, str, Placeholder]
+
+
+@dataclass(frozen=True)
+class Condition:
+    column: str
+    value: Value
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    table: str
+    columns: Tuple[Tuple[str, str], ...]  # (name, type) pairs
+
+
+@dataclass(frozen=True)
+class Insert:
+    table: str
+    columns: Tuple[str, ...]
+    values: Tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Select:
+    table: str
+    columns: Tuple[str, ...]  # ("*",) for all
+    where: Tuple[Condition, ...] = ()
+
+
+@dataclass(frozen=True)
+class Update:
+    table: str
+    assignments: Tuple[Tuple[str, Value], ...]
+    where: Tuple[Condition, ...] = ()
+
+
+@dataclass(frozen=True)
+class Delete:
+    table: str
+    where: Tuple[Condition, ...] = ()
+
+
+Statement = Union[CreateTable, Insert, Select, Update, Delete]
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'        # quoted string
+      | \d+                   # integer
+      | \?                    # placeholder
+      | [A-Za-z_][A-Za-z_0-9]*  # identifier / keyword
+      | [(),=*]               # punctuation
+    )
+    """,
+    re.VERBOSE,
+)
+
+_TYPES = {"INTEGER", "TEXT", "BLOB", "REAL"}
+
+
+def _tokenize(sql: str) -> List[str]:
+    tokens: List[str] = []
+    pos = 0
+    while pos < len(sql):
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            rest = sql[pos:].strip()
+            if not rest:
+                break
+            raise SqlError(f"cannot tokenize near: {rest[:30]!r}")
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+@dataclass
+class _Cursor:
+    tokens: List[str]
+    pos: int = 0
+    placeholders: int = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def expect(self, *words: str) -> str:
+        token = self.next()
+        if token.upper() not in words:
+            raise SqlError(f"expected {' or '.join(words)}, got {token!r}")
+        return token.upper()
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z_0-9]*", token):
+            raise SqlError(f"expected identifier, got {token!r}")
+        return token
+
+    def value(self) -> Value:
+        token = self.next()
+        if token == "?":
+            placeholder = Placeholder(self.placeholders)
+            self.placeholders += 1
+            return placeholder
+        if token.isdigit():
+            return int(token)
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        raise SqlError(f"expected a value, got {token!r}")
+
+    def done(self) -> None:
+        if self.peek() is not None:
+            raise SqlError(f"trailing tokens from {self.peek()!r}")
+
+
+def _parse_where(cur: _Cursor) -> Tuple[Condition, ...]:
+    if cur.peek() is None:
+        return ()
+    cur.expect("WHERE")
+    conditions: List[Condition] = []
+    while True:
+        column = cur.expect_ident()
+        cur.expect("=")
+        conditions.append(Condition(column, cur.value()))
+        if cur.peek() is None or cur.peek().upper() != "AND":
+            break
+        cur.next()
+    return tuple(conditions)
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    cur = _Cursor(_tokenize(sql))
+    head = cur.expect("CREATE", "INSERT", "SELECT", "UPDATE", "DELETE")
+
+    if head == "CREATE":
+        cur.expect("TABLE")
+        table = cur.expect_ident()
+        cur.expect("(")
+        columns: List[Tuple[str, str]] = []
+        while True:
+            name = cur.expect_ident()
+            col_type = cur.next().upper()
+            if col_type not in _TYPES:
+                raise SqlError(f"unknown column type {col_type!r}")
+            columns.append((name, col_type))
+            if cur.expect(",", ")") == ")":
+                break
+        cur.done()
+        return CreateTable(table, tuple(columns))
+
+    if head == "INSERT":
+        cur.expect("INTO")
+        table = cur.expect_ident()
+        cur.expect("(")
+        columns2: List[str] = []
+        while True:
+            columns2.append(cur.expect_ident())
+            if cur.expect(",", ")") == ")":
+                break
+        cur.expect("VALUES")
+        cur.expect("(")
+        values: List[Value] = []
+        while True:
+            values.append(cur.value())
+            if cur.expect(",", ")") == ")":
+                break
+        cur.done()
+        if len(values) != len(columns2):
+            raise SqlError("INSERT column/value count mismatch")
+        return Insert(table, tuple(columns2), tuple(values))
+
+    if head == "SELECT":
+        columns3: List[str] = []
+        if cur.peek() == "*":
+            cur.next()
+            columns3 = ["*"]
+        else:
+            while True:
+                columns3.append(cur.expect_ident())
+                if cur.peek() != ",":
+                    break
+                cur.next()
+        cur.expect("FROM")
+        table = cur.expect_ident()
+        where = _parse_where(cur)
+        return Select(table, tuple(columns3), where)
+
+    if head == "UPDATE":
+        table = cur.expect_ident()
+        cur.expect("SET")
+        assignments: List[Tuple[str, Value]] = []
+        while True:
+            column = cur.expect_ident()
+            cur.expect("=")
+            assignments.append((column, cur.value()))
+            if cur.peek() != ",":
+                break
+            cur.next()
+        where = _parse_where(cur)
+        return Update(table, tuple(assignments), where)
+
+    # DELETE
+    cur.expect("FROM")
+    table = cur.expect_ident()
+    where = _parse_where(cur)
+    return Delete(table, where)

@@ -1,0 +1,95 @@
+"""Request/reply plumbing for program bodies.
+
+These helpers are *sub-generators*: program bodies use them with
+``yield from``, so every kernel interaction still flows through the
+body's own generator and the scheduler sees each syscall.
+
+A :class:`Channel` owns a reply port and implements the ubiquitous
+call-and-wait-for-reply pattern.  ``serve_forever`` is the standard
+request loop for simple (non-event-process) servers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.kernel.message import Message
+from repro.kernel.syscalls import NewPort, Recv, Send, SetPortLabel
+
+
+class Channel:
+    """A reusable reply port for request/reply exchanges.
+
+    Create inside a body with ``chan = yield from Channel.open(open_to)``.
+    The reply port's label is set so that the named level of senders can
+    reach it; by default it is opened to everyone (``{3}``), relying on the
+    process receive label for protection — callers with stricter needs pass
+    an explicit port label.
+    """
+
+    def __init__(self, port: Handle):
+        self.port = port
+
+    @classmethod
+    def open(cls, port_label: Optional[Label] = None) -> Generator:
+        port = yield NewPort()
+        yield SetPortLabel(port, port_label if port_label is not None else Label.top())
+        return cls(port)
+
+    def call(
+        self,
+        port: Handle,
+        payload: Dict[str, Any],
+        contaminate: Optional[Label] = None,
+        decontaminate_send: Optional[Label] = None,
+        verify: Optional[Label] = None,
+        decontaminate_receive: Optional[Label] = None,
+    ) -> Generator:
+        """Send *payload* (with ``reply`` pointing here) and await the
+        reply.  Returns the reply :class:`Message`.
+
+        Asbestos sends are unreliable, so a call whose request or reply is
+        dropped by a label check would block forever; callers for whom
+        that is possible should use :meth:`call_nowait` plus a timeout at
+        the harness level.  Within the carefully compartment-managed
+        servers in this repository, delivery is reliable in practice
+        (Section 4).
+        """
+        payload = dict(payload)
+        payload["reply"] = self.port
+        yield Send(
+            port,
+            payload,
+            contaminate=contaminate,
+            decontaminate_send=decontaminate_send,
+            verify=verify,
+            decontaminate_receive=decontaminate_receive,
+        )
+        msg = yield Recv(port=self.port)
+        return msg
+
+    def recv(self, block: bool = True) -> Generator:
+        msg = yield Recv(port=self.port, block=block)
+        return msg
+
+
+def serve_forever(
+    port: Handle,
+    handler: Callable[[Message], Generator],
+) -> Generator:
+    """The standard server loop: receive on *port*, run *handler* (a
+    generator function: it may itself yield syscalls), forever.
+
+    The handler returns the reply payload (or ``None`` for no reply); the
+    reply is sent to the request's ``reply`` port if present.
+    """
+    while True:
+        msg = yield Recv(port=port)
+        result = yield from handler(msg)
+        reply_port = None
+        if isinstance(msg.payload, dict):
+            reply_port = msg.payload.get("reply")
+        if result is not None and reply_port is not None:
+            yield Send(reply_port, result)

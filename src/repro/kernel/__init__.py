@@ -1,0 +1,51 @@
+"""The simulated Asbestos kernel.
+
+Public surface:
+
+- :class:`~repro.kernel.kernel.Kernel` — the machine (spawn processes,
+  inject wire traffic, run to quiescence, inspect memory/cycles).
+- :mod:`~repro.kernel.syscalls` — the syscall objects program bodies yield.
+- :class:`~repro.kernel.message.Message` — what a recv returns.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.message import Message
+from repro.kernel.syscalls import (
+    ChangeLabel,
+    Compute,
+    DissociatePort,
+    EpCheckpoint,
+    EpClean,
+    EpExit,
+    EpYield,
+    Exit,
+    GetEnv,
+    GetLabels,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+
+__all__ = [
+    "Kernel",
+    "Message",
+    "ChangeLabel",
+    "Compute",
+    "DissociatePort",
+    "EpCheckpoint",
+    "EpClean",
+    "EpExit",
+    "EpYield",
+    "Exit",
+    "GetEnv",
+    "GetLabels",
+    "NewHandle",
+    "NewPort",
+    "Recv",
+    "Send",
+    "SetPortLabel",
+    "Spawn",
+]

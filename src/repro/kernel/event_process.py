@@ -1,0 +1,66 @@
+"""Event processes (paper Section 6).
+
+An event process (EP) abstracts the subset of process state belonging to a
+single user: its kernel state is only a send label, a receive label,
+receive rights for ports, and a set of private memory pages plus
+bookkeeping — 44 bytes of kernel memory, versus 320 for a minimal process.
+
+Lifecycle (Section 6.1):
+
+- the base process calls ``ep_checkpoint`` and never runs again;
+- a message arriving on a port the *base* owns makes the kernel create a
+  fresh EP — labels copied from the base, no receive rights, no private
+  pages — and run the registered event body with the message;
+- a message for a port an *existing* EP owns resumes that EP at its
+  ``ep_yield``;
+- ``ep_clean`` reverts memory ranges to the base contents (dropping the
+  EP's private page copies); ``ep_exit`` frees everything.
+
+Execution states are **not** isolated: an EP that blocks in ``recv``
+blocks the entire process, and ``exit`` from inside an EP kills the whole
+process — both faithful to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.memory import EpView
+from repro.kernel.process import Process, Task, TaskState
+
+#: Kernel bytes per event process (paper Section 6.1: "altogether occupying
+#: 44 bytes of Asbestos kernel memory").
+EP_STRUCT_BYTES = 44
+
+#: Per-modified-page bookkeeping bytes in the EP's modified-page list.
+EP_PAGE_RECORD_BYTES = 12
+
+
+class EventProcess(Task):
+    """One isolated continuation inside a base process."""
+
+    def __init__(self, base: Process, index: int, view: EpView):
+        super().__init__(
+            key=f"{base.key}e{index}",
+            name=f"{base.name}[{index}]",
+            component=base.component,
+        )
+        self.base = base
+        self.index = index
+        self.view = view
+        # Labels copied from the base at creation; contamination from the
+        # triggering message is applied by the kernel afterwards.
+        self.send_label = base.send_label
+        self.receive_label = base.receive_label
+        self.state = TaskState.DORMANT
+        #: Set once the EP has called ep_exit.
+        self.exited = False
+
+    @property
+    def is_event_process(self) -> bool:
+        return True
+
+    def kernel_bytes(self) -> int:
+        """EP kernel state plus its modified-page list (the pages
+        themselves are counted by the page accountant)."""
+        return EP_STRUCT_BYTES + EP_PAGE_RECORD_BYTES * self.view.private_page_count

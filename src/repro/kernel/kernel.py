@@ -1,0 +1,1022 @@
+"""The Asbestos kernel simulator.
+
+Single-threaded, deterministic, cooperative: program bodies are generators
+that yield syscall objects; the kernel advances one task per scheduler
+step, executes the syscall, and hands the result back at the next resume.
+
+The security-relevant parts implement Figure 4 exactly:
+
+``send(p, data, CS, DS, V, DR)`` by process P, where Q owns port p::
+
+    ES = PS ⊔ CS
+    requirements:
+      (1) ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR          — checked at delivery time
+      (2) DS(h) < 3  ⇒  PS(h) = ⋆           — checked at send time
+      (3) DR(h) > ⋆  ⇒  PS(h) = ⋆           — checked at send time
+      (4) DR ⊑ pR                            — checked at delivery time
+    effects (at delivery):
+      QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS*)
+      QR ← QR ⊔ DR
+
+Sends are asynchronous and unreliable: the sender always sees success, and
+a message failing any requirement is silently dropped (recorded only in
+the out-of-band :class:`~repro.kernel.errors.DropLog`).  Label checks and
+effects run when the receiver actually receives — the kernel cannot know
+deliverability earlier, since labels change in the meantime (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from repro.core import labelops
+from repro.core.chunks import ChunkedLabel, OpStats, shared_memory_bytes
+from repro.core.handles import Handle, HandleAllocator
+from repro.core.labels import (
+    DEFAULT_PORT_LABEL,
+    Label,
+)
+from repro.core.levels import L0, L3, STAR
+from repro.kernel import syscalls as sc
+from repro.kernel.clock import CycleClock, KERNEL_IPC, OTHER
+from repro.kernel.errors import (
+    DROP_DEAD_PORT,
+    DROP_DECONT_PRIVILEGE,
+    DROP_LABEL_CHECK,
+    DROP_PORT_LABEL,
+    DROP_QUEUE_LIMIT,
+    DropLog,
+    InvalidArgument,
+    NotOwner,
+    ResourceExhausted,
+    SimulationError,
+)
+from repro.kernel.event_process import EventProcess
+from repro.kernel.memory import (
+    AddressSpace,
+    EpView,
+    PAGE_SIZE,
+    PageAccountant,
+)
+from repro.kernel.message import Message, QueuedMessage
+from repro.kernel.ports import Port
+from repro.kernel.process import (
+    Context,
+    Process,
+    STACK_PAGES,
+    Task,
+    TaskState,
+    XSTACK_PAGES,
+)
+from repro.kernel.scheduler import Scheduler
+
+_BOTTOM = ChunkedLabel.from_label(Label.bottom())
+_TOP = ChunkedLabel.from_label(Label.top())
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Cheap size model for message payloads."""
+    if payload is None:
+        return 8
+    if isinstance(payload, (bytes, bytearray)):
+        return len(payload)
+    if isinstance(payload, str):
+        return len(payload)
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, dict):
+        return 16 + sum(_payload_bytes(k) + _payload_bytes(v) for k, v in payload.items())
+    if isinstance(payload, (list, tuple)):
+        return 16 + sum(_payload_bytes(v) for v in payload)
+    return 64
+
+
+class Kernel:
+    """The simulated machine: CPU clock, RAM, handle space, tasks, ports."""
+
+    def __init__(
+        self,
+        ram_bytes: Optional[int] = None,
+        boot_key: bytes = b"asbestos-boot-key",
+        trace: bool = False,
+        label_cost_mode: str = "paper",
+    ):
+        if label_cost_mode not in ("paper", "fused"):
+            raise ValueError(f"unknown label_cost_mode: {label_cost_mode!r}")
+        #: "paper" bills label work as the 2005 implementation would pay it
+        #: (linear scans with only the min/max short-circuits — reproduces
+        #: Figure 9); "fused" bills the sparsity-aware operations actually
+        #: executed (the future-work optimisation; see bench_label_ops).
+        self.label_cost_mode = label_cost_mode
+        self.clock = CycleClock()
+        self.allocator = HandleAllocator(key=boot_key)
+        self.accountant = (
+            PageAccountant(capacity_pages=ram_bytes // PAGE_SIZE)
+            if ram_bytes
+            else PageAccountant()
+        )
+        self.scheduler = Scheduler()
+        self.drop_log = DropLog()
+        self.tasks: Dict[str, Task] = {}
+        self.processes: Dict[str, Process] = {}
+        self.ports: Dict[Handle, Port] = {}
+        self.label_stats = OpStats()
+        self.trace = trace
+        self.debug_lines: List[str] = []
+        #: Covert-channel mitigation hook (Section 8): called before each
+        #: spawn; returning False denies process creation.
+        self.fork_limiter: Optional[Callable[[Process], bool]] = None
+        self._pid = 0
+        self._seq = 0
+        self._steps = 0
+        # Import deferred to avoid a cycle at module load.
+        from repro.kernel.vnodes import VnodeTable
+
+        self.vnodes = VnodeTable()
+
+    # -- bootstrapping -----------------------------------------------------------
+
+    def spawn(
+        self,
+        body: Callable,
+        name: str,
+        component: str = OTHER,
+        env: Optional[Dict[str, Any]] = None,
+        parent: Optional[Task] = None,
+        inherit_labels: bool = False,
+        notify_exit: Optional[Handle] = None,
+    ) -> Process:
+        """Create a process running generator function *body(ctx)*.
+
+        With ``inherit_labels`` the child gets copies of *parent*'s labels
+        (privilege distribution by forking, Section 5.3); otherwise it gets
+        the defaults ``PS = {1}``, ``PR = {2}``.
+        """
+        if self.fork_limiter is not None and parent is not None:
+            if not self.fork_limiter(parent):  # type: ignore[arg-type]
+                raise ResourceExhausted("process creation rate limited")
+        self._pid += 1
+        space = AddressSpace(self.accountant)
+        space.alloc(STACK_PAGES * PAGE_SIZE, "stack")
+        space.alloc(XSTACK_PAGES * PAGE_SIZE, "xstack")
+        process = Process(
+            pid=self._pid,
+            name=name,
+            component=component,
+            body=body,
+            env=dict(env or {}),
+            address_space=space,
+        )
+        if parent is not None and inherit_labels:
+            process.send_label = parent.send_label
+            process.receive_label = parent.receive_label
+        process.notify_exit = notify_exit
+        process.ctx = Context(self, process, space, process.env)
+        process.gen = body(process.ctx)
+        if not isinstance(process.gen, Generator):
+            raise SimulationError(f"process body {name!r} is not a generator function")
+        self.tasks[process.key] = process
+        self.processes[process.key] = process
+        self.clock.charge(OTHER, self.clock.cost.spawn)
+        self.scheduler.enqueue(process.key)
+        return process
+
+    def inject(self, port: Handle, payload: Any) -> bool:
+        """Enqueue a message from *outside* the label system — the network
+        wire.  Labels are the defaults of a maximally untainted sender, so
+        the receiver is not contaminated and ordinary receive checks apply."""
+        return self._enqueue(
+            port=port,
+            payload=payload,
+            effective_send=ChunkedLabel.from_label(Label.send_default()),
+            ds=_TOP,
+            v=_TOP,
+            dr=_BOTTOM,
+            sender_name="<wire>",
+        )
+
+    # -- the run loop ----------------------------------------------------------------
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Advance until no task is runnable; returns steps executed."""
+        steps = 0
+        while self.scheduler and steps < max_steps:
+            self._step()
+            steps += 1
+        if steps >= max_steps:
+            raise SimulationError(f"run did not quiesce within {max_steps} steps")
+        return steps
+
+    def _step(self) -> None:
+        key = self.scheduler.dequeue()
+        task = self.tasks.get(key)
+        if task is None or task.state == TaskState.EXITED:
+            return
+        self._steps += 1
+        if isinstance(task, Process) and task.state == TaskState.EP_REALM:
+            self._step_ep_realm(task)
+            return
+        if task.state == TaskState.BLOCKED:
+            if not self._retry_blocked_recv(task):
+                return  # still blocked; re-woken on next enqueue
+        self._advance(task)
+
+    # -- generator driving ---------------------------------------------------------------
+
+    #: Maximum syscalls a task executes per scheduling step before it is
+    #: preempted back to the run queue.  Bounds the run loop against
+    #: message-passing livelocks (a task sending to itself forever) so
+    #: ``run(max_steps=...)`` can actually trip.
+    INLINE_SYSCALL_BUDGET = 512
+
+    def _advance(self, task: Task) -> None:
+        """Resume *task*'s generator until it blocks, exits, or exhausts
+        its inline budget (then it re-queues, preempted)."""
+        budget = self.INLINE_SYSCALL_BUDGET
+        while True:
+            budget -= 1
+            if budget < 0:
+                self.scheduler.enqueue(
+                    task.base.key if isinstance(task, EventProcess) else task.key
+                )
+                return
+            try:
+                if task.pending_exc is not None:
+                    exc = task.pending_exc
+                    task.pending_exc = None
+                    request = task.gen.throw(exc)
+                else:
+                    value, task.pending = task.pending, None
+                    request = task.gen.send(value)
+            except StopIteration:
+                self._task_finished(task)
+                return
+            except Exception as exc:  # program crashed
+                self.debug_log(task.name, f"crashed: {exc!r}")
+                if self.trace:
+                    raise
+                self._task_finished(task, crashed=True)
+                return
+            self.clock.charge(OTHER, self.clock.cost.syscall_base)
+            again = self._dispatch(task, request)
+            if not again:
+                return
+
+    def _dispatch(self, task: Task, request: sc.Syscall) -> bool:
+        """Execute one syscall.  Returns True to keep advancing the same
+        task inline (cheap syscalls), False when the task blocked, exited,
+        or should round-robin."""
+        try:
+            if isinstance(request, sc.Send):
+                task.pending = self._sys_send(task, request)
+                return True
+            if isinstance(request, sc.Recv):
+                return self._sys_recv(task, request)
+            if isinstance(request, sc.NewHandle):
+                task.pending = self._sys_new_handle(task)
+                return True
+            if isinstance(request, sc.NewPort):
+                task.pending = self._sys_new_port(task, request.label)
+                return True
+            if isinstance(request, sc.SetPortLabel):
+                task.pending = self._sys_set_port_label(task, request)
+                return True
+            if isinstance(request, sc.DissociatePort):
+                if request.port not in task.owned_ports:
+                    raise NotOwner(f"dissociate: port {request.port:#x} not owned")
+                self._dissociate_port(request.port)
+                task.pending = True
+                return True
+            if isinstance(request, sc.ChangeLabel):
+                task.pending = self._sys_change_label(task, request)
+                return True
+            if isinstance(request, sc.GetLabels):
+                task.pending = (task.send_label.to_label(), task.receive_label.to_label())
+                return True
+            if isinstance(request, sc.GetEnv):
+                env = task.env if isinstance(task, Process) else task.base.env  # type: ignore[attr-defined]
+                task.pending = dict(env)
+                return True
+            if isinstance(request, sc.Spawn):
+                child = self.spawn(
+                    request.body,
+                    request.name,
+                    component=request.component or task.component,
+                    env=request.env,
+                    parent=task,
+                    inherit_labels=request.inherit_labels,
+                    notify_exit=request.notify_exit,
+                )
+                task.pending = child.pid
+                return True
+            if isinstance(request, sc.Compute):
+                self.clock.charge(request.category or task.component, request.cycles)
+                task.pending = None
+                return True
+            if isinstance(request, sc.Exit):
+                self._task_finished(task, explicit_exit=True)
+                return False
+            if isinstance(request, sc.EpCheckpoint):
+                return self._sys_ep_checkpoint(task, request)
+            if isinstance(request, sc.EpYield):
+                return self._sys_ep_yield(task)
+            if isinstance(request, sc.EpClean):
+                task.pending = self._sys_ep_clean(task, request)
+                return True
+            if isinstance(request, sc.EpExit):
+                self._sys_ep_exit(task)
+                return False
+        except (InvalidArgument, NotOwner, ResourceExhausted) as err:
+            task.pending_exc = err
+            return True
+        raise SimulationError(f"{task.name} yielded a non-syscall: {request!r}")
+
+    def _task_finished(
+        self, task: Task, crashed: bool = False, explicit_exit: bool = False
+    ) -> None:
+        if isinstance(task, EventProcess):
+            if explicit_exit:
+                # Process-wide exit from inside an EP kills the whole base
+                # process (Section 6.1).
+                self._terminate_process(task.base)
+            elif crashed:
+                # A crashing event body takes the whole process down, like
+                # a fault in any thread of a real process.
+                self._terminate_process(task.base, crashed=True)
+            else:
+                # Returning from the event body behaves like ep_exit.
+                self._destroy_ep(task)
+                self._schedule_realm_if_work(task.base)
+            return
+        self._terminate_process(task, crashed=crashed)  # type: ignore[arg-type]
+
+    # -- send ------------------------------------------------------------------------------
+
+    def _sys_send(self, task: Task, request: sc.Send) -> bool:
+        cost = self.clock.cost
+        self.clock.charge(KERNEL_IPC, cost.send_base)
+        stats = OpStats()
+        ps = task.send_label
+        cs = self._user_label(request.contaminate, _BOTTOM)
+        ds = self._user_label(request.decontaminate_send, _TOP)
+        v = self._user_label(request.verify, _TOP)
+        dr = self._user_label(request.decontaminate_receive, _BOTTOM)
+
+        # ES = PS ⊔ CS.  Contamination needs no privilege (Section 5.2).
+        modeled = 0
+        if self.label_cost_mode == "paper":
+            modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
+        es = labelops.raise_receive(ps, cs, stats)
+
+        ok = True
+        # Requirement (2): DS(h) < 3 requires PS(h) = ⋆.
+        if ds.default < L3 and ps.max_level != STAR:
+            ok = False
+        if ok:
+            for handle, level in ds.iter_entries():
+                stats.entries_scanned += 1
+                if level < L3 and ps(handle) != STAR:
+                    ok = False
+                    break
+        # Requirement (3): DR(h) > ⋆ requires PS(h) = ⋆.
+        if ok and dr.default > STAR and ps.max_level != STAR:
+            ok = False
+        if ok:
+            for handle, level in dr.iter_entries():
+                stats.entries_scanned += 1
+                if level > STAR and ps(handle) != STAR:
+                    ok = False
+                    break
+        self._charge_label_work(stats, modeled)
+        if not ok:
+            self.drop_log.record(DROP_DECONT_PRIVILEGE, task.name, f"{request.port:#x}")
+            return True  # unreliable send: the sender cannot observe the drop
+
+        # Transferred receive rights leave the sender immediately; they
+        # land on the receiver at delivery, or die with a dropped message.
+        transfer = tuple(request.transfer or ())
+        for handle in transfer:
+            if handle not in task.owned_ports:
+                raise NotOwner(f"transfer of unowned port {handle:#x}")
+        for handle in transfer:
+            task.owned_ports.discard(handle)
+            task.ready_ports.discard(handle)
+            entry = self.ports.get(handle)
+            if entry is not None:
+                entry.owner = "<in-transit>"
+
+        return self._enqueue(
+            port=request.port,
+            payload=request.payload,
+            effective_send=es,
+            ds=ds,
+            v=v,
+            dr=dr,
+            sender_name=task.name,
+            transfer=transfer,
+        )
+
+    def _enqueue(
+        self,
+        port: Handle,
+        payload: Any,
+        effective_send: ChunkedLabel,
+        ds: ChunkedLabel,
+        v: ChunkedLabel,
+        dr: ChunkedLabel,
+        sender_name: str,
+        transfer: Tuple[Handle, ...] = (),
+    ) -> bool:
+        entry = self.ports.get(port)
+        if entry is None or not entry.alive:
+            self.drop_log.record(DROP_DEAD_PORT, sender_name, f"{port:#x}")
+            self._kill_transferred(transfer)
+            return True
+        self._seq += 1
+        qmsg = QueuedMessage(
+            seq=self._seq,
+            port=port,
+            payload=payload,
+            effective_send=effective_send,
+            decontaminate_send=ds,
+            verify=v,
+            decontaminate_receive=dr,
+            sender_name=sender_name,
+            payload_bytes=_payload_bytes(payload),
+            transfer=transfer,
+        )
+        if not entry.enqueue(qmsg):
+            self.drop_log.record(DROP_QUEUE_LIMIT, sender_name, f"{port:#x}")
+            self._kill_transferred(transfer)
+            return True
+        owner = self.tasks.get(entry.owner)
+        if owner is not None:
+            owner.ready_ports.add(port)
+        if isinstance(owner, EventProcess):
+            owner.base.ready_realm_ports.add(port)
+        elif isinstance(owner, Process) and owner.state == TaskState.EP_REALM:
+            owner.ready_realm_ports.add(port)
+        self._wake_owner(entry.owner)
+        return True
+
+    def _kill_transferred(self, transfer: Tuple[Handle, ...]) -> None:
+        """In-transit receive rights on a dropped message are destroyed —
+        returning them to the sender would reveal the drop."""
+        for handle in transfer:
+            entry = self.ports.get(handle)
+            if entry is not None:
+                entry.dissociate()
+                del self.ports[handle]
+                vnode = self.vnodes.get(handle)
+                if vnode is not None:
+                    vnode.dissociated = True
+                    self.vnodes.decref(handle)
+
+    def _wake_owner(self, owner_key: str) -> None:
+        task = self.tasks.get(owner_key)
+        if task is None:
+            return
+        if isinstance(task, EventProcess):
+            base = task.base
+            # The base process is the schedulable identity for its realm.
+            if base.state == TaskState.EP_REALM:
+                self.scheduler.enqueue(base.key)
+            return
+        if task.state in (TaskState.BLOCKED, TaskState.RUNNABLE):
+            self.scheduler.enqueue(task.key)
+        elif task.state == TaskState.EP_REALM:
+            self.scheduler.enqueue(task.key)
+
+    # -- delivery (Figure 4 requirements 1 & 4, then the effects) ---------------------------
+
+    def _try_deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
+        """Run the delivery-time checks against *task*; apply effects and
+        return True, or record the drop and return False."""
+        stats = OpStats()
+        self.clock.charge(KERNEL_IPC, self.clock.cost.recv_base)
+        # Bill the delivery's label work as the modelled 2005 implementation
+        # would pay it, using the labels as they stand before the effects.
+        modeled = 0
+        if self.label_cost_mode == "paper":
+            modeled = labelops.paper_cost_check_send(
+                qmsg.effective_send,
+                task.receive_label,
+                qmsg.decontaminate_receive,
+                qmsg.verify,
+                entry.label,
+            )
+        # Requirement (4): DR ⊑ pR.
+        if not qmsg.decontaminate_receive.leq(entry.label, stats):
+            self._charge_label_work(stats, modeled)
+            self.drop_log.record(DROP_PORT_LABEL, qmsg.sender_name, task.name)
+            self._kill_transferred(qmsg.transfer)
+            return False
+        # Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
+        if not labelops.check_send(
+            qmsg.effective_send,
+            task.receive_label,
+            qmsg.decontaminate_receive,
+            qmsg.verify,
+            entry.label,
+            stats,
+        ):
+            self._charge_label_work(stats, modeled)
+            self.drop_log.record(DROP_LABEL_CHECK, qmsg.sender_name, task.name)
+            self._kill_transferred(qmsg.transfer)
+            return False
+        if self.label_cost_mode == "paper":
+            modeled += labelops.paper_cost_apply_effects(
+                task.send_label, qmsg.effective_send, qmsg.decontaminate_send
+            )
+            modeled += labelops.paper_cost_raise_receive(
+                task.receive_label, qmsg.decontaminate_receive
+            )
+        # Effects.
+        task.send_label = labelops.apply_send_effects(
+            task.send_label, qmsg.effective_send, qmsg.decontaminate_send, stats
+        )
+        task.receive_label = labelops.raise_receive(
+            task.receive_label, qmsg.decontaminate_receive, stats
+        )
+        # Receive rights travelling with the message land here.
+        for handle in qmsg.transfer:
+            port_entry = self.ports.get(handle)
+            if port_entry is not None and port_entry.alive:
+                port_entry.owner = task.key
+                task.owned_ports.add(handle)
+                if port_entry.queue:
+                    task.ready_ports.add(handle)
+                    if isinstance(task, EventProcess):
+                        task.base.ready_realm_ports.add(handle)
+                vnode = self.vnodes.get(handle)
+                if vnode is not None:
+                    vnode.owner = task.key
+        self._charge_label_work(stats, modeled)
+        return True
+
+    def _charge_label_work(self, stats: OpStats, modeled_entries: int = 0) -> None:
+        """Charge KERNEL_IPC for label work.
+
+        In "paper" mode, entry scans are billed from *modeled_entries* (the
+        2005 algorithm's linear scans); the fused implementation's own
+        (much smaller) scan counts are billed only in "fused" mode.
+        Structural costs — op dispatch, label/chunk allocation, chunk
+        sharing — are billed from the executed operations in both modes.
+        """
+        cost = self.clock.cost
+        cycles = (
+            cost.label_op_base * stats.operations
+            + cost.chunk_skip * stats.chunks_skipped
+            + cost.label_alloc * stats.labels_allocated
+            + cost.chunk_alloc * stats.chunks_allocated
+            + cost.chunk_share * stats.chunks_shared
+        )
+        if self.label_cost_mode == "paper":
+            cycles += int(cost.label_entry_scan * modeled_entries)
+        else:
+            cycles += cost.label_entry * stats.entries_scanned
+        self.clock.charge(KERNEL_IPC, cycles)
+        self.label_stats.merge(stats)
+
+    # -- recv --------------------------------------------------------------------------------
+
+    def _sys_recv(self, task: Task, request: sc.Recv) -> bool:
+        if request.port is not None and request.port not in task.owned_ports:
+            task.pending_exc = NotOwner(f"recv on port {request.port:#x} not owned")
+            return True
+        delivered = self._pick_and_deliver(task, request.port)
+        if delivered is not None:
+            task.pending = delivered
+            return True
+        if not request.block:
+            task.pending = None
+            return True
+        task.state = TaskState.BLOCKED
+        task.blocked_on = request
+        return False
+
+    def _retry_blocked_recv(self, task: Task) -> bool:
+        """Try to complete a blocked Recv; True if the task may now run."""
+        request = task.blocked_on
+        if request is None:
+            task.state = TaskState.RUNNABLE
+            return True
+        delivered = self._pick_and_deliver(task, request.port)
+        if delivered is None:
+            return False
+        task.pending = delivered
+        task.state = TaskState.RUNNABLE
+        task.blocked_on = None
+        return True
+
+    def _pick_and_deliver(self, task: Task, port: Optional[Handle]) -> Optional[Message]:
+        """Deliver the oldest deliverable message on *port* (or any owned
+        port).  Messages failing their check are dropped permanently.
+
+        Only ports with queued traffic (the kernel-maintained ready set)
+        are examined, so a server owning thousands of idle connection
+        ports pays nothing for them here."""
+        while True:
+            best: Optional[Tuple[int, Port]] = None
+            stale: List[Handle] = []
+            candidates = [port] if port is not None else list(task.ready_ports)
+            for handle in candidates:
+                entry = self.ports.get(handle)
+                if entry is None or not entry.alive or not entry.queue:
+                    stale.append(handle)
+                    continue
+                seq = entry.queue[0].seq
+                if best is None or seq < best[0]:
+                    best = (seq, entry)
+            for handle in stale:
+                task.ready_ports.discard(handle)
+            if best is None:
+                return None
+            entry = best[1]
+            qmsg = entry.queue.popleft()
+            if not entry.queue:
+                task.ready_ports.discard(entry.handle)
+            if self._try_deliver(task, entry, qmsg):
+                return qmsg.to_message()
+            # dropped; look again
+
+    # -- handles, ports, labels ---------------------------------------------------------------
+
+    def _sys_new_handle(self, task: Task) -> Handle:
+        self.clock.charge(KERNEL_IPC, self.clock.cost.handle_alloc)
+        handle = self.allocator.fresh()
+        self.vnodes.create(handle)
+        stats = OpStats()
+        task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        self._charge_label_work(stats)
+        return handle
+
+    def _sys_new_port(self, task: Task, label: Optional[Label]) -> Handle:
+        self.clock.charge(KERNEL_IPC, self.clock.cost.port_alloc)
+        handle = self.allocator.fresh()
+        self.vnodes.create(handle, is_port=True, owner=task.key)
+        base = ChunkedLabel.from_label(label if label is not None else DEFAULT_PORT_LABEL)
+        stats = OpStats()
+        # Figure 4: pR ← L, then pR(p) ← 0.
+        port_label = labelops.sparse_update(base, {handle: L0}, stats)
+        self.ports[handle] = Port(handle=handle, label=port_label, owner=task.key)
+        task.owned_ports.add(handle)
+        # PS(p) ← ⋆.
+        task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        self._charge_label_work(stats)
+        return handle
+
+    def _sys_set_port_label(self, task: Task, request: sc.SetPortLabel) -> bool:
+        entry = self.ports.get(request.port)
+        if entry is None or request.port not in task.owned_ports:
+            raise NotOwner(f"set_port_label: port {request.port:#x} not owned")
+        # Unlike new_port, the input is used verbatim (Section 5.5).
+        entry.label = ChunkedLabel.from_label(request.label)
+        return True
+
+    def _sys_change_label(self, task: Task, request: sc.ChangeLabel) -> bool:
+        stats = OpStats()
+        if request.drop_send:
+            updates = {}
+            default = task.send_label.default
+            for handle in request.drop_send:
+                current = task.send_label(handle)
+                if current > default:
+                    self._charge_label_work(stats)
+                    raise InvalidArgument(
+                        f"drop_send of {handle:#x} would lower the send label "
+                        "(declassification); only * and sub-default credentials "
+                        "can be dropped"
+                    )
+                updates[handle] = default
+            task.send_label = labelops.sparse_update(task.send_label, updates, stats)
+        if request.raise_receive:
+            updates = {}
+            for handle, level in request.raise_receive.items():
+                current = task.receive_label(handle)
+                if level > current and task.send_label(handle) != STAR:
+                    self._charge_label_work(stats)
+                    raise InvalidArgument(
+                        f"raising receive level of {handle:#x} requires "
+                        "declassification privilege"
+                    )
+                if level != current:
+                    updates[handle] = level
+            if updates:
+                task.receive_label = labelops.sparse_update(
+                    task.receive_label, updates, stats
+                )
+        if request.send is not None:
+            new = ChunkedLabel.from_label(request.send)
+            # Raising only (self-contamination, including dropping own ⋆).
+            if not task.send_label.leq(new, stats):
+                self._charge_label_work(stats)
+                raise InvalidArgument(
+                    "change_label: send label may only be raised "
+                    "(self-contamination); lowering requires receiving a "
+                    "decontaminating message from a * holder"
+                )
+            task.send_label = new
+        if request.receive is not None:
+            new = ChunkedLabel.from_label(request.receive)
+            old = task.receive_label
+            # Raising any component requires ⋆ for that handle.
+            handles = {h for h, _ in new.iter_entries()}
+            handles.update(h for h, _ in old.iter_entries())
+            for handle in handles:
+                stats.entries_scanned += 1
+                if new(handle) > old(handle) and task.send_label(handle) != STAR:
+                    self._charge_label_work(stats)
+                    raise InvalidArgument(
+                        f"change_label: raising receive level of {handle:#x} "
+                        "requires declassification privilege"
+                    )
+            if new.default > old.default and task.send_label.max_level != STAR:
+                raise InvalidArgument(
+                    "change_label: raising the receive default requires "
+                    "universal declassification privilege"
+                )
+            task.receive_label = new
+        self._charge_label_work(stats)
+        return True
+
+    def _user_label(self, label: Optional[Label], default: ChunkedLabel) -> ChunkedLabel:
+        if label is None:
+            return default
+        if not isinstance(label, Label):
+            raise InvalidArgument(f"not a label: {label!r}")
+        return ChunkedLabel.from_label(label)
+
+    # -- event processes -----------------------------------------------------------------------
+
+    def _sys_ep_checkpoint(self, task: Task, request: sc.EpCheckpoint) -> bool:
+        if not isinstance(task, Process):
+            raise SimulationError("ep_checkpoint from inside an event process")
+        if task.event_body is not None:
+            raise SimulationError("ep_checkpoint called twice")
+        task.event_body = request.event_body
+        task.state = TaskState.EP_REALM
+        task.gen = None  # the base process never runs again (Section 6.1)
+        self._schedule_realm_if_work(task)
+        return False
+
+    def _sys_ep_yield(self, task: Task) -> bool:
+        if not isinstance(task, EventProcess):
+            raise SimulationError("ep_yield outside an event process")
+        base = task.base
+        task.state = TaskState.DORMANT
+        task.blocked_on = sc.Recv()
+        base.active_ep = None
+        self._schedule_realm_if_work(base)
+        return False
+
+    def _sys_ep_clean(self, task: Task, request: sc.EpClean) -> int:
+        if not isinstance(task, EventProcess):
+            raise SimulationError("ep_clean outside an event process")
+        if request.keep is not None:
+            return task.view.clean_all_except(tuple(request.keep))
+        if request.region is not None:
+            return task.view.clean_region(request.region)
+        if request.start is None or request.length is None:
+            raise InvalidArgument("ep_clean needs a region name, a range, or keep=")
+        return task.view.clean(request.start, request.length)
+
+    def _sys_ep_exit(self, task: Task) -> None:
+        if not isinstance(task, EventProcess):
+            raise SimulationError("ep_exit outside an event process")
+        base = task.base
+        self._destroy_ep(task)
+        self._schedule_realm_if_work(base)
+
+    def _destroy_ep(self, ep: EventProcess) -> None:
+        ep.state = TaskState.EXITED
+        ep.exited = True
+        for handle in list(ep.owned_ports):
+            self._dissociate_port(handle)
+        ep.view.release_all()
+        ep.base.event_processes.pop(ep.key, None)
+        if ep.base.active_ep == ep.key:
+            ep.base.active_ep = None
+        self.tasks.pop(ep.key, None)
+
+    def _step_ep_realm(self, process: Process) -> None:
+        """One scheduler step for a process in the EP realm."""
+        if process.active_ep is not None:
+            ep = process.event_processes.get(process.active_ep)
+            if ep is None:
+                process.active_ep = None
+            else:
+                if ep.state == TaskState.BLOCKED:
+                    if not self._retry_blocked_recv(ep):
+                        return  # whole process stays blocked (Section 6.1)
+                self._advance(ep)
+                self._schedule_realm_if_work(process)
+                return
+        # No active EP: find the oldest deliverable message in the realm.
+        activated = self._activate_next_ep(process)
+        if activated:
+            self._schedule_realm_if_work(process)
+
+    def _realm_ports(self, process: Process) -> List[Tuple[int, Port, Optional[EventProcess]]]:
+        """(seq, port, owner-EP-or-None) for every non-empty realm port,
+        oldest head first.  Maintained via ``ready_realm_ports`` so the
+        cost is the number of ports with traffic, not the number of
+        dormant event processes."""
+        heads: List[Tuple[int, Port, Optional[EventProcess]]] = []
+        stale: List[Handle] = []
+        for handle in process.ready_realm_ports:
+            entry = self.ports.get(handle)
+            if entry is None or not entry.alive or not entry.queue:
+                stale.append(handle)
+                continue
+            owner = self.tasks.get(entry.owner)
+            if isinstance(owner, EventProcess):
+                if owner.state != TaskState.DORMANT:
+                    continue  # active/blocked EP consumes its own queue
+                heads.append((entry.queue[0].seq, entry, owner))
+            else:
+                heads.append((entry.queue[0].seq, entry, None))
+        for handle in stale:
+            process.ready_realm_ports.discard(handle)
+        heads.sort(key=lambda item: item[0])
+        return heads
+
+    def _activate_next_ep(self, process: Process) -> bool:
+        """Deliver the oldest deliverable realm message, creating or
+        resuming an event process.  Returns True if an EP ran."""
+        while True:
+            heads = self._realm_ports(process)
+            if not heads:
+                return False
+            _, entry, ep = heads[0]
+            qmsg = entry.queue.popleft()
+            if ep is None:
+                if self._deliver_to_new_ep(process, entry, qmsg):
+                    return True
+                continue  # dropped; try the next head
+            if self._try_deliver(ep, entry, qmsg):
+                self.clock.charge(OTHER, self.clock.cost.ep_switch)
+                self._touch_stack(ep)
+                # A cleaned EP dropped its message-queue page; receiving a
+                # message brings it back.
+                if ep.view.region("msgq") is None:
+                    ep.view.alloc(PAGE_SIZE, "msgq")
+                ep.state = TaskState.RUNNABLE
+                ep.blocked_on = None
+                ep.pending = qmsg.to_message()
+                process.active_ep = ep.key
+                self._advance(ep)
+                return True
+
+    def _deliver_to_new_ep(self, process: Process, entry: Port, qmsg: QueuedMessage) -> bool:
+        """Create a fresh EP for a message on a base-owned port."""
+        process.ep_counter += 1
+        view = EpView(
+            process.address_space,
+            self.accountant,
+            on_cow_copy=lambda n: self.clock.charge(OTHER, self.clock.cost.cow_page_copy * n),
+            on_page_alloc=lambda n: self.clock.charge(OTHER, self.clock.cost.page_alloc * n),
+        )
+        ep = EventProcess(process, process.ep_counter, view)
+        if not self._try_deliver(ep, entry, qmsg):
+            return False  # never existed
+        self.clock.charge(OTHER, self.clock.cost.ep_create)
+        self.tasks[ep.key] = ep
+        process.event_processes[ep.key] = ep
+        process.active_ep = ep.key
+        ep.state = TaskState.RUNNABLE
+        # One page for the event process's message queue (Section 9.1).
+        view.alloc(PAGE_SIZE, "msgq")
+        self._touch_stack(ep)
+        ep.ctx = Context(self, ep, view, process.env)
+        ep.gen = process.event_body(ep.ctx, qmsg.to_message())  # type: ignore[misc]
+        if not isinstance(ep.gen, Generator):
+            raise SimulationError(
+                f"event body of {process.name!r} is not a generator function"
+            )
+        self._advance(ep)
+        return True
+
+    def _touch_stack(self, ep: EventProcess) -> None:
+        """Model the stack writes of an activation: the running event
+        process dirties its stack and exception-stack pages (they become
+        private copies until cleaned — Section 9.1 counts 2 such pages per
+        active session)."""
+        for region_name in ("stack", "xstack"):
+            region = ep.base.address_space.region(region_name)
+            if region is not None:
+                ep.view.write(region.start, b"\x01")
+
+    def _schedule_realm_if_work(self, process: Process) -> None:
+        if process.state != TaskState.EP_REALM:
+            return
+        if process.active_ep is not None:
+            ep = process.event_processes.get(process.active_ep)
+            if ep is not None and ep.state == TaskState.RUNNABLE:
+                self.scheduler.enqueue(process.key)
+                return
+            if ep is not None and ep.state == TaskState.BLOCKED:
+                # Re-tried when a message arrives (wake_owner).
+                return
+        if self._realm_ports(process):
+            self.scheduler.enqueue(process.key)
+
+    # -- teardown -----------------------------------------------------------------------------
+
+    def _dissociate_port(self, handle: Handle) -> None:
+        entry = self.ports.get(handle)
+        if entry is None:
+            return
+        entry.dissociate()
+        vnode = self.vnodes.get(handle)
+        if vnode is not None:
+            vnode.dissociated = True
+            self.vnodes.decref(handle)
+        task = self.tasks.get(entry.owner)
+        if task is not None:
+            task.owned_ports.discard(handle)
+        del self.ports[handle]
+
+    def _terminate_process(self, process: Process, crashed: bool = False) -> None:
+        for ep in list(process.event_processes.values()):
+            self._destroy_ep(ep)
+        for handle in list(process.owned_ports):
+            self._dissociate_port(handle)
+        for name in list(process.address_space.regions):
+            process.address_space.free(name)
+        process.state = TaskState.EXITED
+        process.gen = None
+        self.scheduler.remove(process.key)
+        self.tasks.pop(process.key, None)
+        self.processes.pop(process.key, None)
+        if process.notify_exit is not None:
+            # The obituary: default labels, ordinary delivery checks.
+            self._enqueue(
+                port=process.notify_exit,
+                payload={
+                    "type": "EXITED",
+                    "pid": process.pid,
+                    "name": process.name,
+                    "crashed": crashed,
+                },
+                effective_send=ChunkedLabel.from_label(Label.send_default()),
+                ds=_TOP,
+                v=_TOP,
+                dr=_BOTTOM,
+                sender_name="<kernel>",
+            )
+
+    # -- introspection ----------------------------------------------------------------------
+
+    def debug_log(self, who: str, message: str) -> None:
+        if self.trace:
+            line = f"[{self.clock.now:>12}] {who}: {message}"
+            self.debug_lines.append(line)
+            if len(self.debug_lines) > 10_000:
+                del self.debug_lines[:5_000]
+
+    def memory_report(self) -> Dict[str, int]:
+        """System-wide memory accounting (drives Figure 6).
+
+        Returns bytes by category plus page totals.  Label memory counts
+        shared chunks once, mirroring the copy-on-write sharing of the
+        kernel representation.
+        """
+        labels = []
+        ep_bytes = 0
+        process_bytes = 0
+        for task in self.tasks.values():
+            labels.append(task.send_label)
+            labels.append(task.receive_label)
+            if isinstance(task, EventProcess):
+                ep_bytes += task.kernel_bytes()
+            elif isinstance(task, Process):
+                process_bytes += task.kernel_bytes()
+        port_bytes = 0
+        for port in self.ports.values():
+            labels.append(port.label)
+            port_bytes += port.memory_bytes()
+            for qmsg in port.queue:
+                labels.append(qmsg.effective_send)
+                labels.append(qmsg.verify)
+        label_bytes = shared_memory_bytes(labels)
+        user_pages = self.accountant.in_use
+        kernel_bytes = (
+            process_bytes + ep_bytes + port_bytes + label_bytes + self.vnodes.memory_bytes()
+        )
+        return {
+            "user_pages": user_pages,
+            "user_bytes": user_pages * PAGE_SIZE,
+            "process_bytes": process_bytes,
+            "ep_bytes": ep_bytes,
+            "port_bytes": port_bytes,
+            "label_bytes": label_bytes,
+            "vnode_bytes": self.vnodes.memory_bytes(),
+            "kernel_bytes": kernel_bytes,
+            "total_bytes": user_pages * PAGE_SIZE + kernel_bytes,
+            "total_pages": user_pages + -(-kernel_bytes // PAGE_SIZE),
+        }
+
+    @property
+    def steps_executed(self) -> int:
+        return self._steps

@@ -1,0 +1,65 @@
+"""IPC messages.
+
+A message carries an opaque payload plus the labels the sender supplied.
+Of the four optional labels only the *verification* label ``V`` is passed
+up to the receiving application (Section 5.4) — it proves an upper bound on
+the sender's send label without conveying the label itself (avoiding the
+confused-deputy pitfall of shipping full credentials with every message).
+
+The receiver never learns the sender's identity from the kernel; services
+that need replies include a reply port in the payload by convention (the
+9P-inspired protocol of :mod:`repro.ipc.protocol`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.chunks import ChunkedLabel
+from repro.core.handles import Handle
+from repro.core.labels import Label
+
+
+@dataclass
+class Message:
+    """A delivered message, as seen by the receiving program."""
+
+    #: The port this message was delivered to.
+    port: Handle
+    #: Opaque payload (any Python value; treated as bytes-like by netd).
+    payload: Any
+    #: The sender's verification label V, passed up on delivery (§5.4).
+    verify: Label = field(default_factory=Label.top)
+
+    def __repr__(self) -> str:
+        return f"<Message to port {self.port:#x}: {self.payload!r}>"
+
+
+@dataclass
+class QueuedMessage:
+    """Kernel-internal: a message waiting in a port queue.
+
+    Captures the sender's effective labels at *send* time; the receiver-
+    dependent checks (Figure 4 requirements 1 and 4) run at delivery time
+    against whatever the receiver's labels are then.
+    """
+
+    seq: int                              # global arrival order
+    port: Handle
+    payload: Any
+    effective_send: ChunkedLabel          # ES = PS ⊔ CS, snapshotted at send
+    decontaminate_send: ChunkedLabel      # DS
+    verify: ChunkedLabel                  # V
+    decontaminate_receive: ChunkedLabel   # DR
+    sender_name: str                      # diagnostics only (drop log)
+    payload_bytes: int = 0                # modelled message size
+    #: Receive rights travelling with this message (Section 4).
+    transfer: tuple = ()
+
+    def to_message(self) -> Message:
+        return Message(
+            port=self.port,
+            payload=self.payload,
+            verify=self.verify.to_label(),
+        )

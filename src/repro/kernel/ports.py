@@ -1,0 +1,61 @@
+"""Ports: label-checked message endpoints.
+
+Messages sent to a port are delivered to the single context (process or
+event process) holding receive rights for it.  Each port carries a *port
+receive label* ``pR`` — a verification label imposed by the receiver rather
+than the sender — which restricts the effective receive label for messages
+delivered to that port, and bounds how far a sender's decontaminate-receive
+label may raise the receiver's label (``DR ⊑ pR``; Section 5.5).
+
+``new_port`` gives the new port the caller-supplied label but then sets
+``pR(p) ← 0``, so that nobody else can send to the port until the creator
+explicitly grants access — the root of capability-style send rights.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from repro.core.chunks import ChunkedLabel
+from repro.core.handles import Handle
+from repro.kernel.message import QueuedMessage
+
+#: Kernel bytes per port beyond its vnode (queue head, owner ref, label ptr).
+PORT_STRUCT_BYTES = 48
+
+#: Maximum queued messages per port; beyond this, sends drop (resource
+#: exhaustion is the one non-label cause of message loss, Section 4).
+DEFAULT_QUEUE_LIMIT = 1024
+
+
+@dataclass
+class Port:
+    """Kernel port state."""
+
+    handle: Handle
+    label: ChunkedLabel
+    #: Context key of the receive-rights holder.
+    owner: str
+    queue: Deque[QueuedMessage] = field(default_factory=deque)
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    alive: bool = True
+
+    def enqueue(self, message: QueuedMessage) -> bool:
+        if not self.alive or len(self.queue) >= self.queue_limit:
+            return False
+        self.queue.append(message)
+        return True
+
+    def dissociate(self) -> None:
+        """Kill the port: pending and future messages are dropped."""
+        self.alive = False
+        self.queue.clear()
+
+    @property
+    def queued_bytes(self) -> int:
+        return sum(m.payload_bytes for m in self.queue)
+
+    def memory_bytes(self) -> int:
+        return PORT_STRUCT_BYTES + self.queued_bytes

@@ -1,0 +1,53 @@
+"""Deterministic round-robin scheduler.
+
+The simulator is single-threaded and cooperative: the scheduler keeps a
+FIFO run queue of task keys; the kernel pops one, advances its generator
+by one syscall, and pushes it back if it is still runnable.  Determinism
+matters — experiments must be exactly reproducible — so there is no
+randomisation anywhere in scheduling.
+
+Event processes piggyback on their base process's schedulable identity:
+one base process with a thousand dormant EPs costs the scheduler exactly
+one queue entry when a message arrives, which is the "kernel scheduling
+cost is little higher than that of a single process" property of
+Section 6.2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Set
+
+
+class Scheduler:
+    """FIFO run queue with membership tracking."""
+
+    def __init__(self) -> None:
+        self._queue: Deque[str] = deque()
+        self._queued: Set[str] = set()
+
+    def enqueue(self, key: str) -> None:
+        """Make *key* runnable (idempotent while already queued)."""
+        if key not in self._queued:
+            self._queue.append(key)
+            self._queued.add(key)
+
+    def dequeue(self) -> str:
+        key = self._queue.popleft()
+        self._queued.discard(key)
+        return key
+
+    def remove(self, key: str) -> None:
+        """Drop *key* from the queue if present (task exited/blocked)."""
+        if key in self._queued:
+            self._queued.discard(key)
+            self._queue.remove(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._queued
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)

@@ -1,0 +1,24 @@
+"""OKWS on Asbestos — the paper's evaluation application (Section 7).
+
+A multi-process web server in which the operating system, not the
+application, enforces per-user isolation:
+
+- :mod:`repro.okws.launcher` — spawns and wires up every component,
+  mints verification and admin handles (Section 7.1);
+- :mod:`repro.okws.demux` — ok-demux: authenticates connections and routes
+  them to workers (Sections 7.2, 7.3);
+- :mod:`repro.okws.worker` — the event-process worker framework and its
+  labeled database client (Sections 7.2, 7.5);
+- :mod:`repro.okws.services` — the services used by the paper's
+  evaluation plus a profile service exercising decentralized
+  declassification (Sections 7.6, 9.1, 9.2).
+
+Workers are *untrusted*: compromising one cannot violate user isolation.
+Declassifier workers are *semi-trusted*: compromise can leak only the
+current user's data.  netd, idd, ok-dbproxy and ok-demux are trusted.
+"""
+
+from repro.okws.launcher import OkwsSite, ServiceConfig, launch
+from repro.okws.worker import WorkerRequest, make_worker_body
+
+__all__ = ["OkwsSite", "ServiceConfig", "launch", "WorkerRequest", "make_worker_body"]

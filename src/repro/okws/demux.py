@@ -1,0 +1,217 @@
+"""ok-demux: connection demultiplexer and session router (paper §7.2–7.3).
+
+ok-demux accepts each incoming TCP connection from netd, reads enough of
+the request to authenticate the user (username/password via idd) and
+identify the requested service, then hands the connection off:
+
+- to the worker's *base* port for a first contact (forking a new event
+  process), simultaneously contaminating the worker with ``uT 3``,
+  granting ``uC ⋆`` and ``uG ⋆``, and raising its receive label with
+  ``uT 3`` so database rows and connection reads can reach it;
+- directly to the session port ``W[u]`` recorded in its session table for
+  a repeat visit (Section 7.3);
+- to a *declassifier* worker with ``uT ⋆`` **instead of** the ``uT 3``
+  contamination (Section 7.6) — the declassifier can then export u's (and
+  only u's) data.
+
+ok-demux trusts the launcher's verification handles, not the workers: a
+REGISTER must carry the expected handle at level 0 in its verification
+label (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L0, L3, STAR
+from repro.ipc import protocol as P
+from repro.kernel.syscalls import ChangeLabel, GetLabels, NewPort, Recv, Send, SetPortLabel
+
+#: ok-demux computation per connection (header parse, routing).
+DEMUX_CYCLES = 200_000
+
+#: Marginal per-connection cost of a large session table (~95 cycles per
+#: entry: an open-hash walk with poor cache locality touching the whole
+#: table's cache footprint).  This is what makes the paper's OKWS line
+#: grow mildly with cached sessions — by 7,500 sessions kernel IPC
+#: "equals the work being done in all of OKWS" only because OKWS itself
+#: has grown.
+SESSION_TABLE_CYCLES_PER_ENTRY = 95
+
+#: The HTTP response sent on authentication failure.
+FORBIDDEN = {"status": 403, "headers": "HTTP/1.0 403 Forbidden", "body": ""}
+
+
+@dataclass
+class _PendingConn:
+    conn: Handle
+    conn_id: int
+    head: Optional[Dict[str, Any]] = None
+    user: Optional[str] = None
+
+
+def demux_body(ctx):
+    """The ok-demux process.  Env in: ``launcher_port``, ``netd_port``,
+    ``idd_port``."""
+    launcher_port = ctx.env["launcher_port"]
+    netd_port = ctx.env["netd_port"]
+    idd_port = ctx.env["idd_port"]
+
+    port = yield NewPort()
+    yield SetPortLabel(port, Label.top())
+    yield Send(launcher_port, P.request("ANNOUNCE", who="ok-demux", port=port))
+
+    # service -> (expected verification handle, declassifier?); from launcher.
+    expected: Dict[str, Tuple[Handle, bool]] = {}
+    # service -> worker base port (REGISTERed, verified).
+    workers: Dict[str, Handle] = {}
+    # (uid, service) -> event-process session port (Section 7.3).
+    sessions: Dict[Tuple[int, str], Handle] = {}
+    # user handles cached from idd: user -> (uid, uT, uG).
+    identities: Dict[str, Tuple[int, Handle, Handle]] = {}
+    # in-flight connections, keyed by correlation tag.
+    pending: Dict[int, _PendingConn] = {}
+
+    listening = False
+    while True:
+        msg = yield Recv(port=port)
+        payload = msg.payload
+        if not isinstance(payload, dict):
+            continue
+        mtype = payload.get("type")
+
+        if mtype == "EXPECT":  # launcher: a worker will register
+            expected[payload["service"]] = (
+                payload["verify_handle"],
+                bool(payload.get("declassifier")),
+            )
+            if not listening:
+                yield Send(
+                    netd_port,
+                    P.request(P.LISTEN, port=80, notify=port),
+                )
+                listening = True
+
+        elif mtype == P.REGISTER:
+            service = payload.get("service")
+            entry = expected.get(service)
+            if entry is None:
+                continue
+            verify_handle, _ = entry
+            # The worker must prove it speaks for the launcher-minted
+            # verification handle (Section 7.1).
+            if msg.verify(verify_handle) > L0:
+                ctx.log(f"REGISTER for {service!r} with bad verification")
+                continue
+            if service in workers:
+                # A restarted worker: its predecessor's event processes —
+                # and their session ports — died with it.
+                for key in [k for k in sessions if k[1] == service]:
+                    del sessions[key]
+            workers[service] = payload["port"]
+
+        elif mtype == "SESSION":  # worker EP announces its session port
+            sessions[(payload["uid"], payload["service"])] = payload["port"]
+
+        elif mtype == P.ACCEPT_R:  # netd: new connection, uC granted at ⋆
+            ctx.compute(DEMUX_CYCLES + SESSION_TABLE_CYCLES_PER_ENTRY * len(sessions))
+            conn = payload["conn"]
+            conn_id = payload["conn_id"]
+            pending[conn_id] = _PendingConn(conn=conn, conn_id=conn_id)
+            # Step 3: read the request head to authenticate.
+            yield Send(conn, P.request(P.READ, reply=port, tag=conn_id))
+
+        elif mtype == P.READ_R:
+            tag = payload.get("tag")
+            state = pending.get(tag)
+            if state is None:
+                continue
+            head = payload.get("data") or {}
+            state.head = head
+            state.user = head.get("user")
+            yield Send(
+                idd_port,
+                P.request(
+                    P.LOGIN,
+                    reply=port,
+                    tag=tag,
+                    user=head.get("user"),
+                    password=head.get("password"),
+                ),
+            )
+
+        elif mtype == P.LOGIN_R:
+            tag = payload.get("tag")
+            state = pending.pop(tag, None)
+            if state is None:
+                continue
+            if not payload.get("ok"):
+                yield Send(state.conn, P.request(P.WRITE, data=FORBIDDEN))
+                yield Send(state.conn, P.request(P.CONTROL, op="close"))
+                continue
+            uid, taint, grant = payload["uid"], payload["taint"], payload["grant"]
+            identities[state.user] = (uid, taint, grant)
+            service = (state.head or {}).get("service", "")
+            entry = expected.get(service)
+            wport = workers.get(service)
+            if entry is None or wport is None:
+                yield Send(state.conn, P.request(P.WRITE, data={"status": 404}))
+                yield Send(state.conn, P.request(P.CONTROL, op="close"))
+                continue
+            _, declassifier = entry
+
+            # Accept this user's taint ourselves (worker SESSION messages
+            # and netd replies will carry uT 3 from now on).
+            yield ChangeLabel(raise_receive={taint: L3})
+            # Step 5: netd may now emit u's data, but only over uC.
+            yield Send(
+                netd_port,
+                P.request("ADD_TAINT", conn=state.conn, taint=taint),
+                decontaminate_send=Label({taint: STAR}, L3),
+            )
+
+            connect = P.request(
+                P.CONNECT,
+                conn=state.conn,
+                conn_id=state.conn_id,
+                uid=uid,
+                user=state.user,
+                taint=taint,
+                grant=grant,
+                head=state.head,
+            )
+            session_port = sessions.get((uid, service))
+            if session_port is not None:
+                # Step 6, repeat visit: straight to the event process.
+                yield Send(
+                    session_port,
+                    connect,
+                    decontaminate_send=Label({state.conn: STAR}, L3),
+                    contaminate=Label({taint: L3}, STAR),
+                )
+            elif declassifier:
+                # Section 7.6: grant uT ⋆ instead of contaminating.
+                yield Send(
+                    wport,
+                    connect,
+                    decontaminate_send=Label(
+                        {state.conn: STAR, taint: STAR, grant: STAR}, L3
+                    ),
+                    decontaminate_receive=Label({taint: L3}, STAR),
+                )
+            else:
+                # Step 6, first contact: fork a new event process with the
+                # taint, the grant handle, and a raised receive label.
+                yield Send(
+                    wport,
+                    connect,
+                    decontaminate_send=Label({state.conn: STAR, grant: STAR}, L3),
+                    contaminate=Label({taint: L3}, STAR),
+                    decontaminate_receive=Label({taint: L3}, STAR),
+                )
+            # The connection capability now belongs to the event process;
+            # release our copy (Section 9.3).
+            yield ChangeLabel(drop_send=(state.conn,))

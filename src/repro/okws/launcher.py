@@ -1,0 +1,271 @@
+"""The OKWS launcher (paper Section 7.1) and the experiment-facing site
+handle.
+
+The launcher process spawns ok-demux, the site's workers, idd and
+ok-dbproxy (netd is spawned by the harness since it predates OKWS on a
+real system).  It mints one *verification handle* per worker so ok-demux
+can be certain which process it is talking to without trusting workers to
+identify themselves, and an *admin handle* gating ok-dbproxy's raw SQL
+interface, which it grants only to idd and itself.
+
+:func:`launch` wraps the whole construction and returns an
+:class:`OkwsSite`: the harness-side object experiments use to look up
+ports, the wire, and the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel.clock import NETWORK, OKDB, OKWS
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
+from repro.okws.demux import demux_body
+from repro.okws.worker import make_worker_body
+from repro.servers.cache import cache_body
+from repro.servers.dbproxy import dbproxy_body
+from repro.servers.idd import idd_body
+from repro.servers.netd import Wire, netd_body
+
+
+@dataclass
+class ServiceConfig:
+    """One site service: a name, a handler generator function, and whether
+    its worker runs as a declassifier (Section 7.6)."""
+
+    name: str
+    handler: Callable
+    declassifier: bool = False
+    #: Disable the ep_clean before yield (the worst-case "active session"
+    #: variant of the Figure 6 memory experiment, Section 9.1).
+    no_clean: bool = False
+
+
+@dataclass
+class OkwsSite:
+    """Harness-side handle to a running OKWS instance."""
+
+    kernel: Kernel
+    wire: Wire
+    netd_wire_port: Handle
+    demux_port: Handle
+    idd_port: Handle
+    dbproxy_port: Handle
+    dbproxy_admin_port: Handle
+    services: Tuple[str, ...]
+    launcher_env: Dict[str, Any]
+
+
+def launcher_body(ctx):
+    """The launcher process.  Env in: ``netd_port``, ``services`` (list of
+    ServiceConfig), ``users`` (list of (name, password)), ``schema`` (list
+    of CREATE TABLE statements for site tables)."""
+    netd_port = ctx.env["netd_port"]
+    services: Sequence[ServiceConfig] = ctx.env["services"]
+    users: Sequence[Tuple[str, str]] = ctx.env.get("users", ())
+    schema: Sequence[str] = ctx.env.get("schema", ())
+
+    port = yield NewPort()
+    yield SetPortLabel(port, Label.top())
+    chan = yield from Channel.open()
+
+    # --- ok-dbproxy, gated by a fresh admin handle -------------------------------
+    admin = yield NewHandle()
+    yield Spawn(
+        dbproxy_body,
+        name="ok-dbproxy",
+        component=OKDB,
+        env={"admin_handle": admin, "announce_port": port},
+    )
+    announce = yield Recv(port=port)  # dbproxy's ANNOUNCE
+    db_ports = announce.payload["ports"]
+    dbproxy_port = db_ports["dbproxy_port"]
+    dbproxy_admin = db_ports["dbproxy_admin_port"]
+    dbproxy_grant = db_ports["dbproxy_grant_port"]
+
+    # Seed the password table and site schema through the admin interface.
+    r = yield from chan.call(
+        dbproxy_admin,
+        P.request(P.QUERY, sql="CREATE TABLE users (uid INTEGER, name TEXT, password TEXT)"),
+    )
+    for statement in schema:
+        yield from chan.call(dbproxy_admin, P.request(P.QUERY, sql=statement))
+    rows = [
+        {"uid": uid, "name": name, "password": password}
+        for uid, (name, password) in enumerate(users, start=1)
+    ]
+    yield from chan.call(
+        dbproxy_admin, P.request("BULK_INSERT", table="users", rows=rows)
+    )
+
+    # --- okc, the shared worker cache (Section 7.3) --------------------------------
+    yield Spawn(
+        cache_body,
+        name="okc",
+        component=OKWS,
+        env={"announce_port": port},
+    )
+    announce = yield Recv(port=port)
+    cache_ports = announce.payload["ports"]
+    cache_port = cache_ports["cache_port"]
+    cache_grant = cache_ports["cache_grant_port"]
+
+    # --- idd, granted the admin handle --------------------------------------------
+    yield Spawn(
+        idd_body,
+        name="idd",
+        component=OKWS,
+        env={
+            "dbproxy_admin_port": dbproxy_admin,
+            "grant_ports": [dbproxy_grant, cache_grant],
+            "announce_port": port,
+        },
+    )
+    announce = yield Recv(port=port)
+    idd_port = announce.payload["ports"]["idd_port"]
+    # Grant idd the right to use the raw SQL interface.  The payload is
+    # ignored by idd; the DS label on delivery is the grant.
+    yield Send(idd_port, P.request("GRANT"), decontaminate_send=Label({admin: STAR}, L3))
+    # Tell dbproxy where to affirm bindings.
+    yield Send(dbproxy_grant, P.request("SET_IDD", port=idd_port))
+
+    # --- ok-demux --------------------------------------------------------------------
+    yield Spawn(
+        demux_body,
+        name="ok-demux",
+        component=OKWS,
+        env={"launcher_port": port, "netd_port": netd_port, "idd_port": idd_port},
+    )
+    announce = yield Recv(port=port)
+    demux_port = announce.payload["port"]
+
+    # --- workers, each with its own verification handle -------------------------------
+    configs: Dict[str, ServiceConfig] = {config.name: config for config in services}
+
+    def start_worker(config: ServiceConfig):
+        """Mint a verification handle, tell ok-demux to expect it, spawn
+        the worker supervised (we get its obituary), configure it once it
+        says hello."""
+        verify_handle = yield NewHandle()
+        yield Send(
+            demux_port,
+            P.request(
+                "EXPECT",
+                service=config.name,
+                verify_handle=verify_handle,
+                declassifier=config.declassifier,
+            ),
+        )
+        yield Spawn(
+            make_worker_body(config.name, config.handler, config.declassifier),
+            name=f"worker-{config.name}",
+            component=OKWS,
+            env={"launcher_port": port, "okws_no_clean": config.no_clean},
+            notify_exit=port,
+        )
+        hello = yield Recv(port=port)  # WORKER_HELLO
+        # Hand the worker its configuration and the verification handle
+        # itself, granted at ⋆ (it is the worker's identity compartment).
+        yield Send(
+            hello.payload["reply"],
+            {
+                "verify_handle": verify_handle,
+                "demux_port": demux_port,
+                "dbproxy_port": dbproxy_port,
+                "cache_port": cache_port,
+            },
+            decontaminate_send=Label({verify_handle: STAR}, L3),
+        )
+
+    for config in services:
+        yield from start_worker(config)
+
+    # Publish everything for the harness.
+    ctx.env["demux_port"] = demux_port
+    ctx.env["idd_port"] = idd_port
+    ctx.env["dbproxy_port"] = dbproxy_port
+    ctx.env["dbproxy_admin_port"] = dbproxy_admin
+    ctx.env["cache_port"] = cache_port
+    ctx.env["restarts"] = []
+    ctx.env["ready"] = True
+
+    # --- supervision (Section 7.1: "a more mature version of launcher
+    # --- could restart dead processes") -----------------------------------------------
+    while True:
+        msg = yield Recv(port=port)
+        payload = msg.payload
+        if not isinstance(payload, dict) or payload.get("type") != "EXITED":
+            continue
+        name = payload.get("name", "")
+        if not name.startswith("worker-"):
+            continue
+        service = name[len("worker-"):]
+        config = configs.get(service)
+        if config is None:
+            continue
+        ctx.env["restarts"].append(service)
+        # A fresh verification handle: the dead worker's identity (and any
+        # leak of it) dies with it; ok-demux's EXPECT is replaced.
+        yield from start_worker(config)
+
+
+def launch(
+    kernel: Optional[Kernel] = None,
+    services: Sequence[ServiceConfig] = (),
+    users: Sequence[Tuple[str, str]] = (),
+    schema: Sequence[str] = (),
+    network: str = "classic",
+) -> OkwsSite:
+    """Boot the network stack and a full OKWS instance.
+
+    ``network`` selects the stack: ``"classic"`` is the paper's monolithic
+    netd (Section 7.7); ``"decomposed"`` is the Section 7.8 future-work
+    design — a trusted front end over an untrusted event-process back end
+    (see :mod:`repro.servers.netd2`).  Both speak the same protocols.
+    """
+    kernel = kernel if kernel is not None else Kernel()
+    wire = Wire()
+    if network == "classic":
+        netd = kernel.spawn(netd_body, "netd", component=NETWORK, env={"wire": wire})
+    elif network == "decomposed":
+        from repro.servers.netd2 import netd2_front_body
+
+        netd = kernel.spawn(
+            netd2_front_body, "netd-front", component=NETWORK, env={"wire": wire}
+        )
+    else:
+        raise ValueError(f"unknown network stack: {network!r}")
+    kernel.run()
+    netd_port = netd.env["netd_port"]
+
+    launcher = kernel.spawn(
+        launcher_body,
+        "launcher",
+        component=OKWS,
+        env={
+            "netd_port": netd_port,
+            "services": list(services),
+            "users": list(users),
+            "schema": list(schema),
+        },
+    )
+    kernel.run()
+    if not launcher.env.get("ready"):
+        raise RuntimeError("OKWS launch did not complete; check kernel drop log")
+    return OkwsSite(
+        kernel=kernel,
+        wire=wire,
+        netd_wire_port=netd.env["netd_wire_port"],
+        demux_port=launcher.env["demux_port"],
+        idd_port=launcher.env["idd_port"],
+        dbproxy_port=launcher.env["dbproxy_port"],
+        dbproxy_admin_port=launcher.env["dbproxy_admin_port"],
+        services=tuple(s.name for s in services),
+        launcher_env=launcher.env,
+    )

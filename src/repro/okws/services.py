@@ -1,0 +1,176 @@
+"""Site services used by the evaluation and the examples.
+
+- :func:`session_cache_handler` — the Section 9.1 toy service: stores data
+  from a user's HTTP request in the session and returns it on the
+  subsequent request (~1 KB responses).  Drives the Figure 6 memory
+  experiment.
+- :func:`echo_handler` — the Section 9.2 microbenchmark service: responds
+  with a string of characters whose length depends on the client's
+  parameters (144-byte responses in the paper's runs, 133 bytes of which
+  are headers).  Drives Figures 7 and 8.
+- :func:`notes_handler` — a database-backed private-notes service: write
+  notes, read your own notes back; other users' notes are invisible by
+  kernel label enforcement, not application filtering.
+- :func:`profile_declassifier_handler` — a declassifier (Section 7.6):
+  publishes the current user's private profile row as public data that
+  any user may subsequently read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.okws.worker import WorkerRequest
+
+#: HTTP header block modelled at the paper's size (133 bytes of headers).
+HEADER = (
+    "HTTP/1.0 200 OK\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 0011\r\n"
+    "Server: OKWS/Asbestos\r\n"
+    "Connection: close\r\n"
+    "Cache-Control: private\r\n"
+    "\r\n"
+)
+assert len(HEADER) == 133, len(HEADER)
+
+#: Session payload size for the memory experiment (~1K responses, §9.1).
+SESSION_BYTES = 1024
+
+
+def session_cache_handler(ectx, request: WorkerRequest):
+    """Store this request's data; return what the previous request stored."""
+    previous = request.session.get("data", b"")
+    incoming = request.body if request.body is not None else b""
+    if isinstance(incoming, str):
+        incoming = incoming.encode()
+    request.session["data"] = incoming[:SESSION_BYTES].ljust(SESSION_BYTES, b".")
+    request.session["hits"] = request.session.get("hits", 0) + 1
+    return {
+        "headers": HEADER,
+        "body": previous,
+        "hits": request.session["hits"],
+        "user": request.user,
+    }
+    yield  # pragma: no cover — makes this a generator function
+
+
+def echo_handler(ectx, request: WorkerRequest):
+    """Respond with ``length`` filler characters (Section 9.2: total
+    response 144 bytes, 133 of which are headers, so 11 body bytes)."""
+    length = int(request.args.get("length", 11))
+    return {"headers": HEADER, "body": "x" * length}
+    yield  # pragma: no cover
+
+
+def notes_handler(ectx, request: WorkerRequest):
+    """A database-backed notes service.
+
+    ``args["op"]``:
+
+    - ``"add"`` — INSERT the body as a private note (rows are stamped with
+      the user's ID by ok-dbproxy; the worker never sees the column);
+    - ``"list"`` — SELECT all notes; the kernel delivers only this user's
+      rows plus public rows.
+    """
+    op = request.args.get("op", "list")
+    if op == "add":
+        affected = yield from request.db.write(
+            "INSERT INTO notes (author, text) VALUES (?, ?)",
+            (request.user, str(request.body)),
+        )
+        return {"headers": HEADER, "body": f"added {affected}"}
+    rows = yield from request.db.select("SELECT author, text FROM notes")
+    return {"headers": HEADER, "body": [r["text"] for r in rows], "rows": rows}
+
+
+def profile_handler(ectx, request: WorkerRequest):
+    """Private profiles: set your own, read whatever is visible to you."""
+    op = request.args.get("op", "get")
+    if op == "set":
+        yield from request.db.write(
+            "DELETE FROM profiles WHERE owner = ?", (request.user,)
+        )
+        yield from request.db.write(
+            "INSERT INTO profiles (owner, bio) VALUES (?, ?)",
+            (request.user, str(request.body)),
+        )
+        return {"headers": HEADER, "body": "profile saved"}
+    rows = yield from request.db.select("SELECT owner, bio FROM profiles")
+    return {"headers": HEADER, "body": {r["owner"]: r["bio"] for r in rows}}
+
+
+def board_handler(ectx, request: WorkerRequest):
+    """A bulletin board — one of the paper's motivating application
+    classes ("Web commerce and bulletin-board systems", Section 2).
+
+    Posts are *drafts* (private rows, kernel-isolated) until their author
+    publishes them through the board's declassifier; reading mixes your
+    own drafts with everyone's published posts in one SELECT, because
+    that is literally what the kernel delivers.
+
+    ``args["op"]``:
+
+    - ``"draft"`` — store the body as a private draft;
+    - ``"read"`` — list everything visible to you (your drafts + all
+      published posts);
+    - ``"drafts"`` — list only your own unpublished drafts.
+    """
+    op = request.args.get("op", "read")
+    if op == "draft":
+        yield from request.db.write(
+            "INSERT INTO posts (author, text, published) VALUES (?, ?, 0)",
+            (request.user, str(request.body)),
+        )
+        return {"headers": HEADER, "body": "draft saved"}
+    if op == "drafts":
+        rows = yield from request.db.select(
+            "SELECT author, text FROM posts WHERE published = 0"
+        )
+        return {"headers": HEADER, "body": [r["text"] for r in rows]}
+    rows = yield from request.db.select("SELECT author, text, published FROM posts")
+    return {
+        "headers": HEADER,
+        "body": [
+            {"author": r["author"], "text": r["text"], "published": bool(r["published"])}
+            for r in rows
+        ],
+    }
+
+
+def board_publisher_handler(ectx, request: WorkerRequest):
+    """The board's declassifier: publish the current user's drafts.
+
+    Flips the user's draft rows to published and re-writes them as public
+    (user-ID-0) rows via a declassified UPDATE — afterwards every user's
+    ``read`` sees them.  Holding ``uT ⋆`` for the *current* user only, a
+    compromised publisher can overshare that user's drafts but nobody
+    else's (Section 7.6's trust bound).
+    """
+    affected = yield from request.db.write_declassified(
+        "UPDATE posts SET published = 1 WHERE author = ?", (request.user,)
+    )
+    return {"headers": HEADER, "body": f"published {affected} post(s)"}
+
+
+def profile_declassifier_handler(ectx, request: WorkerRequest):
+    """The declassifier worker for profiles (Section 7.6).
+
+    Running with ``uT ⋆`` instead of ``uT 3``, it can read the user's
+    private profile without being contaminated and republish it with a
+    ``V(uT) = ⋆`` write, which ok-dbproxy stores as a public (user ID 0)
+    row.  It holds ⋆ only for the *current* user: a compromised
+    declassifier can overshare that user's data but nobody else's.
+    """
+    rows = yield from request.db.select(
+        "SELECT owner, bio FROM profiles WHERE owner = ?", (request.user,)
+    )
+    if not rows:
+        return {"headers": HEADER, "body": "nothing to declassify"}
+    bio = rows[-1]["bio"]
+    # Flag the row public by rewriting it with declassification privilege
+    # (dbproxy zeroes the user ID column).
+    yield from request.db.write_declassified(
+        "UPDATE profiles SET bio = ? WHERE owner = ?", (bio, request.user)
+    )
+    return {"headers": HEADER, "body": f"declassified profile of {request.user}"}

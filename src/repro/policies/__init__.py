@@ -1,0 +1,30 @@
+"""Label policy recipes.
+
+Asbestos labels are a mechanism; this package packages the paper's policy
+*idioms* as reusable recipes:
+
+- :mod:`repro.policies.mls` — traditional hierarchical multi-level
+  security (unclassified/secret/top-secret) emulated with compartments
+  (Section 5.2, "The four levels");
+- :mod:`repro.policies.capabilities` — port labels as capability-style
+  send rights (Section 5.5);
+- :mod:`repro.policies.integrity` — grant handles, verification labels,
+  and mandatory integrity (Section 5.4).
+"""
+
+from repro.policies.mls import MlsPolicy
+from repro.policies.capabilities import (
+    grant_send_right,
+    open_port_label,
+    sealed_port_label,
+)
+from repro.policies.integrity import speaks_for, write_verify_label
+
+__all__ = [
+    "MlsPolicy",
+    "grant_send_right",
+    "open_port_label",
+    "sealed_port_label",
+    "speaks_for",
+    "write_verify_label",
+]

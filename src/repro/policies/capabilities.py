@@ -1,0 +1,41 @@
+"""Capability-style send rights from port labels (paper Section 5.5).
+
+When a process creates port ``p``, the kernel pins ``pR(p) ← 0`` while
+every other process starts with ``PS(p) = 1``, so nobody can send to the
+port.  The creator holds ``p ⋆`` and can *grant* the right to send by
+decontaminating another process's send label with ``DS = {p ⋆, 3}`` — and
+the grantee can re-delegate, exactly like a capability.
+"""
+
+from __future__ import annotations
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L0, L2, L3, STAR
+
+
+def grant_send_right(port: Handle) -> Label:
+    """The DS label that grants the right to send to *port* (``{p ⋆, 3}``).
+
+    Usable only by a sender holding ``p ⋆`` itself (Figure 4 requirement
+    2); the kernel silently drops the message otherwise.
+    """
+    return Label({port: STAR}, L3)
+
+
+def sealed_port_label(port: Handle) -> Label:
+    """A port label admitting only capability holders: ``{p 0, 2}``.
+
+    This is what ``new_port`` effectively produces from a ``{2}`` input —
+    netd's per-connection socket ports use exactly this shape (§7.2
+    step 1).
+    """
+    return Label({port: L0}, L2)
+
+
+def open_port_label() -> Label:
+    """A port label admitting everyone (``{3}``), relying on the process
+    receive label alone.  Note ``set_port_label`` uses its input verbatim,
+    so resetting a port to this *does* open it to the world (Section 5.5).
+    """
+    return Label.top()

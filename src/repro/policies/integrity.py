@@ -1,0 +1,63 @@
+"""Integrity idioms: grant handles and verification labels (paper §5.4).
+
+*Speaking for* user u is a positive right represented by u's grant handle
+``uG`` at level 0 or below in the send label.  A writer proves the right
+with a verification label ``V`` such that ``V(uG) ≤ 0``; since delivery
+requires ``ES ⊑ V``, the verification label is an upper bound on the
+sender's (effective) send label — credentials are named explicitly,
+avoiding the confused-deputy problem of shipping all credentials with
+every message.
+
+Mandatory integrity comes from granting ``uG`` at exactly 0 rather than
+``⋆``: 0 is *below* the default send level 1, so the moment the holder
+receives a message from any process that does not also speak for u, the
+contamination rule raises ``uG`` to 1 and the privilege is gone — the
+holder cannot relay low-integrity data into u's files (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L0, L1, L2, L3, STAR
+
+
+def speaks_for(send_label: Label, grant: Handle) -> bool:
+    """Does a process with *send_label* currently speak for the owner of
+    *grant*?  (``PS(uG) ≤ 0``.)"""
+    return send_label(grant) <= L0
+
+
+def write_verify_label(grant: Handle, taint: Optional[Handle] = None) -> Label:
+    """The V label for writing as the user: ``{uG 0, 3}``, tightened to
+    ``{uT 3, uG 0, 2}`` when the object also has a taint compartment (the
+    bound ok-dbproxy requires, §7.5: it additionally proves the sender
+    carries no *other* user's contamination)."""
+    if taint is None:
+        return Label({grant: L0}, L3)
+    return Label({grant: L0, taint: L3}, L2)
+
+
+def grant_speaks_for(grant: Handle, mandatory: bool = False) -> Label:
+    """The DS label distributing the right to speak for a user.
+
+    ``mandatory=True`` grants at level 0: usable, but destroyed by the
+    first message from a non-speaker (mandatory integrity).  Otherwise the
+    grant is ``⋆``: durable, re-delegable, declassification-capable.
+    """
+    return Label({grant: L0 if mandatory else STAR}, L3)
+
+
+def network_exclusion_verify(system: Handle) -> Label:
+    """Section 5.4's system-file example: the file server demands
+    ``V(s) ≤ 1`` for system-file writes; giving the network daemon send
+    level ``{s 2, 1}`` then transitively keeps network-derived data out of
+    system files.  This is the required V."""
+    return Label({system: L1}, L3)
+
+
+def network_daemon_send(system: Handle) -> Label:
+    """The network daemon's send label under that policy: ``{s 2, 1}``."""
+    return Label({system: L2}, L1)

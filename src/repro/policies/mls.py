@@ -1,0 +1,95 @@
+"""Hierarchical multi-level security emulated with compartments.
+
+Section 5.2: to support unclassified, secret and top-secret, the security
+administrator uses two compartments — one for secret (``s``), one for
+top-secret (``t``).  A process's receive label reflects its clearance:
+
+===========  ==================  ==================
+level        receive label       send label (seen)
+===========  ==================  ==================
+unclassified ``{2}``             ``{1}``
+secret       ``{s3, 2}``         ``{s3, 1}``
+top-secret   ``{s3, t3, 2}``     ``{s3, t3, 1}``
+===========  ==================  ==================
+
+"Odd" labels such as ``{t3, 1}`` have no direct level mapping but still
+preserve information flow: such a process can only send to top-secret
+clearance.  The policy generalises to any totally ordered chain of
+sensitivity classifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.handles import Handle, HandleAllocator
+from repro.core.labels import Label
+from repro.core.levels import L1, L2, L3, STAR
+
+
+@dataclass
+class MlsPolicy:
+    """A chain of sensitivity classifications over fresh compartments.
+
+    ``levels[0]`` is the least sensitive (no compartment needed); each
+    higher level adds one compartment handle.
+    """
+
+    levels: Tuple[str, ...]
+    compartments: Dict[str, Handle] = field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls, levels: Sequence[str], allocator: Optional[HandleAllocator] = None
+    ) -> "MlsPolicy":
+        """Mint the policy's compartments from *allocator* (harness-side;
+        inside a simulated program use new_handle and ``from_handles``)."""
+        allocator = allocator or HandleAllocator()
+        policy = cls(levels=tuple(levels))
+        for name in levels[1:]:
+            policy.compartments[name] = allocator.fresh()
+        return policy
+
+    @classmethod
+    def from_handles(
+        cls, levels: Sequence[str], handles: Sequence[Handle]
+    ) -> "MlsPolicy":
+        if len(handles) != len(levels) - 1:
+            raise ValueError("need one handle per level above the lowest")
+        policy = cls(levels=tuple(levels))
+        for name, handle in zip(levels[1:], handles):
+            policy.compartments[name] = handle
+        return policy
+
+    def _rank(self, level: str) -> int:
+        try:
+            return self.levels.index(level)
+        except ValueError:
+            raise ValueError(f"unknown sensitivity level: {level!r}") from None
+
+    def _handles_upto(self, level: str) -> List[Handle]:
+        rank = self._rank(level)
+        return [self.compartments[name] for name in self.levels[1 : rank + 1]]
+
+    def clearance(self, level: str) -> Label:
+        """The receive label for a subject cleared to *level*."""
+        return Label({h: L3 for h in self._handles_upto(level)}, L2)
+
+    def classification(self, level: str) -> Label:
+        """The send label of a subject that has observed *level* data."""
+        return Label({h: L3 for h in self._handles_upto(level)}, L1)
+
+    def contamination(self, level: str) -> Label:
+        """The CS label a server supplies when returning *level* data."""
+        return Label({h: L3 for h in self._handles_upto(level)}, STAR)
+
+    def downgrader(self) -> Label:
+        """The send label of the (maximally trusted) downgrader, holding
+        ⋆ for every compartment."""
+        return Label({h: STAR for h in self.compartments.values()}, L1)
+
+    def can_flow(self, from_level: str, to_level: str) -> bool:
+        """The lattice check: data at *from_level* may reach a subject
+        cleared to *to_level* iff classification ⊑ clearance."""
+        return self.classification(from_level) <= self.clearance(to_level)

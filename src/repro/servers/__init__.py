@@ -1,0 +1,21 @@
+"""Trusted system services: netd, idd, ok-dbproxy, and the labeled file
+server of the paper's Section 5.2 example."""
+
+from repro.servers.netd import Wire, netd_body
+from repro.servers.netd2 import netd2_front_body
+from repro.servers.idd import idd_body
+from repro.servers.dbproxy import dbproxy_body
+from repro.servers.fileserver import file_server_body
+from repro.servers.filesystem import filesystem_body
+from repro.servers.cache import cache_body
+
+__all__ = [
+    "Wire",
+    "netd_body",
+    "netd2_front_body",
+    "idd_body",
+    "dbproxy_body",
+    "file_server_body",
+    "filesystem_body",
+    "cache_body",
+]

@@ -1,0 +1,331 @@
+"""ok-dbproxy: the labeled database gateway (paper Sections 7.5 and 7.6).
+
+ok-dbproxy interposes on all OKWS database access, converting Asbestos
+labels and security policies to and from plain relational operations:
+
+- every table created through it gets a hidden ``_user_id`` column that
+  workers can neither read nor name in queries;
+- a write (INSERT/UPDATE/DELETE) must arrive with a username ``u`` and a
+  verification label bounded above by ``{uT 3, uG 0, 2}`` — proving the
+  sender carries no foreign taint and was granted the right to write for
+  ``u`` — and the claimed (u, uT, uG) binding is affirmed with idd; the
+  query is then rewritten so every row it writes carries u's user ID;
+- a write arriving with ``V(uT) = ⋆`` proves declassification privilege
+  for u's compartment: the row is stored with user ID 0, i.e. *public*
+  (decentralized declassification, Section 7.6);
+- every SELECT returns each row as a separate message contaminated with
+  the owning user's taint (``uT 3``); rows with user ID 0 are returned
+  untainted; an untainted DONE message ends the result set.  Because a
+  worker's receive label admits only its own user's taint, the kernel
+  silently drops every other row — the worker cannot even tell how many
+  rows were sent.
+
+dbproxy is trusted and privileged: idd grants it every user taint handle
+at ``⋆`` (via BIND), so receiving tainted queries never contaminates it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L0, L2, L3, STAR
+from repro.db import sql as S
+from repro.db.engine import Database
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel.errors import InvalidArgument
+from repro.kernel.syscalls import ChangeLabel, GetLabels, NewPort, Recv, Send, SetPortLabel
+
+#: Hidden ownership column added to every table (Section 7.5).
+USER_ID_COLUMN = "_user_id"
+#: ``_user_id`` value marking declassified (public) rows.
+PUBLIC_USER_ID = 0
+
+#: Cycles per row scanned by the engine (the OKDB line of Figure 9).
+ROW_SCAN_CYCLES = 100
+#: Fixed per-query engine cost (parse, plan, result assembly).
+QUERY_BASE_CYCLES = 28_000
+
+
+def _classify(sql_text: str) -> S.Statement:
+    return S.parse(sql_text)
+
+
+def dbproxy_body(ctx):
+    """The ok-dbproxy process.  Publishes three ports:
+
+    - ``dbproxy_port`` — the policy-enforcing interface workers use;
+    - ``dbproxy_admin_port`` — raw SQL for trusted components (idd, the
+      launcher); its port label is ``{admin 0, 2}``, so only holders of
+      the admin grant handle can send;
+    - ``dbproxy_grant_port`` — where idd BINDs user handles.
+
+    Env in: ``admin_handle`` (the launcher's admin grant handle).
+    """
+    admin_handle: Handle = ctx.env["admin_handle"]
+    db = Database()
+
+    public_port = yield NewPort()
+    yield SetPortLabel(public_port, Label.top())
+    admin_port = yield NewPort()
+    yield SetPortLabel(admin_port, Label({admin_handle: L0}, L2))
+    grant_port = yield NewPort()
+    yield SetPortLabel(grant_port, Label.top())
+    ctx.env["dbproxy_port"] = public_port
+    ctx.env["dbproxy_admin_port"] = admin_port
+    ctx.env["dbproxy_grant_port"] = grant_port
+    if ctx.env.get("announce_port") is not None:
+        yield Send(
+            ctx.env["announce_port"],
+            P.request(
+                "ANNOUNCE",
+                who="ok-dbproxy",
+                ports={
+                    "dbproxy_port": public_port,
+                    "dbproxy_admin_port": admin_port,
+                    "dbproxy_grant_port": grant_port,
+                },
+            ),
+        )
+
+    chan = yield from Channel.open()
+    idd_port: Optional[Handle] = None
+
+    # uid <-> handles bindings, granted by idd.
+    taint_of: Dict[int, Handle] = {}
+    grant_of: Dict[int, Handle] = {}
+    uid_of_taint: Dict[Handle, int] = {}
+
+    def charge(result) -> None:
+        ctx.compute(QUERY_BASE_CYCLES + ROW_SCAN_CYCLES * result.rows_scanned)
+
+    while True:
+        msg = yield Recv()
+        payload = msg.payload
+        if not isinstance(payload, dict):
+            continue
+        mtype = payload.get("type")
+        reply = payload.get("reply")
+
+        # ---- idd binds a user's handles (and made us privileged via DS) ----
+        if msg.port == grant_port:
+            if mtype == "BIND":
+                uid, taint, grant = payload["uid"], payload["taint"], payload["grant"]
+                try:
+                    # Accept future queries tainted with this user's handle;
+                    # the raise itself proves we actually hold uT ⋆ (the
+                    # kernel rejects it otherwise).
+                    yield ChangeLabel(raise_receive={taint: L3})
+                except InvalidArgument:
+                    continue  # not actually granted privilege; ignore
+                taint_of[uid] = taint
+                grant_of[uid] = grant
+                uid_of_taint[taint] = uid
+            elif mtype == "SET_IDD":
+                idd_port = payload.get("port")
+            continue
+
+        # ---- trusted raw interface ------------------------------------------------
+        if msg.port == admin_port:
+            if mtype == "BULK_INSERT":
+                # Setup-time seeding (the launcher populating the user
+                # table); rows land as public unless they carry an owner.
+                table = db.tables.get(payload.get("table", ""))
+                if table is not None:
+                    for row in payload.get("rows", []):
+                        full = {name: None for name in table.column_names}
+                        full.update(row)
+                        full.setdefault(USER_ID_COLUMN, PUBLIC_USER_ID)
+                        if full[USER_ID_COLUMN] is None:
+                            full[USER_ID_COLUMN] = PUBLIC_USER_ID
+                        table.rows.append(full)
+                    table.invalidate_indexes()
+                if reply is not None:
+                    yield Send(reply, P.reply_to(payload, "BULK_INSERT_R", ok=True))
+                continue
+            if mtype != P.QUERY or reply is None:
+                continue
+            try:
+                ast = _classify(payload.get("sql", ""))
+                if isinstance(ast, S.CreateTable):
+                    # Every table gets the hidden ownership column.
+                    ast = S.CreateTable(
+                        ast.table, ast.columns + ((USER_ID_COLUMN, "INTEGER"),)
+                    )
+                elif isinstance(ast, S.Insert) and USER_ID_COLUMN not in ast.columns:
+                    # Admin inserts default to public rows.
+                    ast = S.Insert(
+                        ast.table,
+                        ast.columns + (USER_ID_COLUMN,),
+                        ast.values + (PUBLIC_USER_ID,),
+                    )
+                result = db.run(ast, tuple(payload.get("params", ())))
+            except S.SqlError as err:
+                yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
+                continue
+            charge(result)
+            yield Send(
+                reply,
+                P.reply_to(
+                    payload,
+                    P.QUERY_R,
+                    rows=[
+                        {k: v for k, v in row.items() if k != USER_ID_COLUMN}
+                        for row in result.rows
+                    ],
+                    rows_affected=result.rows_affected,
+                ),
+            )
+            continue
+
+        # ---- the policy-enforcing worker interface ---------------------------------
+        if msg.port != public_port or mtype != P.QUERY or reply is None:
+            continue
+        sql_text = payload.get("sql", "")
+        params = tuple(payload.get("params", ()))
+        username_uid = payload.get("uid")
+        verify: Label = msg.verify
+
+        try:
+            ast = _classify(sql_text)
+        except S.SqlError as err:
+            yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
+            continue
+
+        if _mentions_user_column(ast):
+            yield Send(
+                reply,
+                P.reply_to(payload, P.ERROR_R, error=f"{USER_ID_COLUMN} is private"),
+            )
+            continue
+
+        if isinstance(ast, S.CreateTable):
+            yield Send(
+                reply,
+                P.reply_to(payload, P.ERROR_R, error="schema changes are admin-only"),
+            )
+            continue
+
+        if isinstance(ast, (S.Insert, S.Update, S.Delete)):
+            uid = username_uid
+            taint = taint_of.get(uid)
+            grant = grant_of.get(uid)
+            if taint is None or grant is None:
+                yield Send(reply, P.reply_to(payload, P.ERROR_R, error="unknown user"))
+                continue
+            declassified = verify(taint) == STAR
+            if not declassified:
+                # V must be bounded above by {uT 3, uG 0, 2}: no foreign
+                # taint, and the uG 0 entry proves the right to write as u.
+                bound = Label({taint: L3, grant: L0}, L2)
+                if not verify <= bound:
+                    yield Send(
+                        reply,
+                        P.reply_to(payload, P.ERROR_R, error="verify label rejected"),
+                    )
+                    continue
+            # Affirm the binding with idd (Section 7.5).
+            if idd_port is not None:
+                affirmation = yield from chan.call(
+                    idd_port,
+                    P.request("AFFIRM", uid=uid, taint=taint, grant=grant),
+                )
+                if not affirmation.payload.get("ok"):
+                    yield Send(
+                        reply,
+                        P.reply_to(payload, P.ERROR_R, error="binding rejected"),
+                    )
+                    continue
+            owner = PUBLIC_USER_ID if declassified else uid
+            try:
+                result = db.run(_rewrite_write(ast, owner, uid, declassified), params)
+            except S.SqlError as err:
+                yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
+                continue
+            charge(result)
+            yield Send(
+                reply,
+                P.reply_to(payload, P.QUERY_R, rows_affected=result.rows_affected),
+                contaminate=None if declassified else Label({taint: L3}, STAR),
+            )
+            continue
+
+        # SELECT: per-row contamination (Section 7.5).
+        select = ast
+        columns = select.columns
+        if columns != ("*",):
+            columns = tuple(columns) + (USER_ID_COLUMN,)
+        widened = S.Select(select.table, columns, select.where)
+        try:
+            result = db.run(widened, params)
+        except S.SqlError as err:
+            yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
+            continue
+        charge(result)
+        for row in result.rows:
+            owner = row.get(USER_ID_COLUMN, PUBLIC_USER_ID)
+            visible = {k: v for k, v in row.items() if k != USER_ID_COLUMN}
+            if owner == PUBLIC_USER_ID:
+                yield Send(reply, P.reply_to(payload, P.ROW_R, row=visible))
+                continue
+            taint = taint_of.get(owner)
+            if taint is None:
+                # A row whose owner has no bound compartment this boot
+                # (e.g. restored from disk before that user's first
+                # login).  A row we cannot label is a row we must not
+                # send: skip it.  The binding appears at the owner's next
+                # login and the row becomes visible to them again.
+                continue
+            yield Send(
+                reply,
+                P.reply_to(payload, P.ROW_R, row=visible),
+                contaminate=Label({taint: L3}, STAR),
+            )
+        yield Send(reply, P.reply_to(payload, P.DONE_R))
+
+
+def _mentions_user_column(ast: S.Statement) -> bool:
+    if isinstance(ast, S.CreateTable):
+        return any(name == USER_ID_COLUMN for name, _ in ast.columns)
+    if isinstance(ast, S.Insert):
+        return USER_ID_COLUMN in ast.columns
+    if isinstance(ast, S.Select):
+        return USER_ID_COLUMN in ast.columns or any(
+            c.column == USER_ID_COLUMN for c in ast.where
+        )
+    if isinstance(ast, S.Update):
+        return any(col == USER_ID_COLUMN for col, _ in ast.assignments) or any(
+            c.column == USER_ID_COLUMN for c in ast.where
+        )
+    if isinstance(ast, S.Delete):
+        return any(c.column == USER_ID_COLUMN for c in ast.where)
+    return False
+
+
+def _rewrite_write(ast: S.Statement, owner: int, uid: int, declassified: bool) -> S.Statement:
+    """Scope a write to the user's rows and stamp ownership.
+
+    INSERTs get ``_user_id = owner`` (0 for declassified rows).  UPDATEs
+    and DELETEs additionally match only rows the user already owns — a
+    declassifier may also touch the user's private rows (it holds uT ⋆),
+    which is how data moves from private to public (Section 7.6 flags
+    declassified rows by zeroing their user ID).
+    """
+    if isinstance(ast, S.Insert):
+        return S.Insert(
+            ast.table,
+            ast.columns + (USER_ID_COLUMN,),
+            ast.values + (owner,),
+        )
+    scope = (S.Condition(USER_ID_COLUMN, uid if not declassified else uid),)
+    if isinstance(ast, S.Update):
+        assignments = ast.assignments
+        if declassified:
+            # Rewriting the ownership column to 0 *is* the declassification.
+            assignments = assignments + ((USER_ID_COLUMN, PUBLIC_USER_ID),)
+        return S.Update(ast.table, assignments, ast.where + scope)
+    if isinstance(ast, S.Delete):
+        return S.Delete(ast.table, ast.where + scope)
+    raise S.SqlError(f"not a write: {ast!r}")

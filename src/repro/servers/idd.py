@@ -1,0 +1,109 @@
+"""idd: the identity server (paper Section 7.4).
+
+idd associates persistent user identification data — username, user ID,
+password — with the temporary per-user *grant* and *taint* handles
+``uG``/``uT``.  Passwords live in a relational table reached through
+ok-dbproxy's privileged admin interface, which other processes (such as
+workers) cannot use.
+
+On a successful LOGIN, idd either mints fresh ``uT``/``uG`` handles (first
+login) or returns cached ones, granting both at ``⋆`` to the requester
+(ok-demux).  When it mints handles it also grants them at ``⋆`` to
+ok-dbproxy, which is privileged with respect to every user taint
+(Section 7.5), along with the (user id → handles) binding dbproxy uses to
+label rows.  The cache is never cleaned, exactly as in the prototype — so
+idd's send label accumulates two ``⋆`` handles per user, one of the label
+growth terms measured in Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.core.levels import L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel
+
+#: Cycles of idd application logic per login (parsing, cache handling).
+LOGIN_CYCLES = 45_000
+#: Cycles per binding affirmation.
+AFFIRM_CYCLES = 4_000
+
+
+def idd_body(ctx):
+    """The idd process.  Env in: ``dbproxy_admin_port``,
+    ``dbproxy_grant_port``.  Publishes ``idd_port``."""
+    admin_port: Handle = ctx.env["dbproxy_admin_port"]
+    # Every privileged consumer of user handles gets a BIND when handles
+    # are minted: ok-dbproxy always, plus e.g. the shared cache (okc).
+    grant_ports = list(ctx.env.get("grant_ports") or [ctx.env["dbproxy_grant_port"]])
+    service = yield NewPort()
+    yield SetPortLabel(service, Label.top())
+    ctx.env["idd_port"] = service
+    chan = yield from Channel.open()
+    if ctx.env.get("announce_port") is not None:
+        yield Send(
+            ctx.env["announce_port"],
+            P.request("ANNOUNCE", who="idd", ports={"idd_port": service}),
+        )
+
+    # uid -> (uT, uG); never cleaned (Section 7.4).
+    cache: Dict[int, Tuple[Handle, Handle]] = {}
+
+    while True:
+        msg = yield Recv(port=service)
+        payload = msg.payload
+        if not isinstance(payload, dict):
+            continue
+        mtype = payload.get("type")
+        reply = payload.get("reply")
+
+        if mtype == P.LOGIN:
+            ctx.compute(LOGIN_CYCLES)
+            result = yield from chan.call(
+                admin_port,
+                P.request(
+                    P.QUERY,
+                    sql="SELECT uid FROM users WHERE name = ? AND password = ?",
+                    params=(payload.get("user"), payload.get("password")),
+                ),
+            )
+            rows = result.payload.get("rows", [])
+            if not rows:
+                if reply is not None:
+                    yield Send(reply, P.reply_to(payload, P.LOGIN_R, ok=False))
+                continue
+            uid = rows[0]["uid"]
+            if uid in cache:
+                taint, grant = cache[uid]
+            else:
+                taint = yield NewHandle()
+                grant = yield NewHandle()
+                cache[uid] = (taint, grant)
+                # dbproxy (and any other registered privileged consumer,
+                # such as the shared cache) becomes privileged for this
+                # user's compartments.
+                for grant_port in grant_ports:
+                    yield Send(
+                        grant_port,
+                        P.request("BIND", uid=uid, taint=taint, grant=grant),
+                        decontaminate_send=Label({taint: STAR, grant: STAR}, L3),
+                    )
+            if reply is not None:
+                yield Send(
+                    reply,
+                    P.reply_to(payload, P.LOGIN_R, ok=True, uid=uid, taint=taint, grant=grant),
+                    decontaminate_send=Label({taint: STAR, grant: STAR}, L3),
+                )
+
+        elif mtype == "AFFIRM":
+            # dbproxy double-checks a claimed (user, uT, uG) binding before
+            # accepting a write (Section 7.5).
+            ctx.compute(AFFIRM_CYCLES)
+            uid = payload.get("uid")
+            ok = cache.get(uid) == (payload.get("taint"), payload.get("grant"))
+            if reply is not None:
+                yield Send(reply, P.reply_to(payload, "AFFIRM_R", ok=ok))

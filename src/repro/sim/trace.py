@@ -1,0 +1,129 @@
+"""Label-flow tracing: a developer tool for watching the kernel's
+decisions.
+
+Attach a :class:`FlowTracer` to a kernel and every delivery attempt is
+recorded — sender, receiver, the verdict, and how the receiver's labels
+changed — with symbolic handle names you register as compartments come
+into being.  ``tracer.format()`` renders a readable transcript; tests can
+assert on the structured :class:`FlowEvent` records.
+
+This is out-of-band diagnostics in the same sense as the kernel's drop
+log: nothing inside the simulation can observe it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.handles import Handle
+from repro.core.labels import Label
+from repro.kernel.kernel import Kernel
+
+
+@dataclass
+class FlowEvent:
+    """One delivery attempt."""
+
+    seq: int
+    sender: str
+    receiver: str
+    port: Handle
+    delivered: bool
+    effective_send: Label
+    verify: Label
+    send_before: Label
+    send_after: Optional[Label] = None      # None if dropped
+    receive_before: Label = field(default_factory=Label.receive_default)
+    receive_after: Optional[Label] = None
+
+    @property
+    def contaminated(self) -> bool:
+        return self.delivered and self.send_after != self.send_before
+
+    @property
+    def decontaminated_receive(self) -> bool:
+        return self.delivered and self.receive_after != self.receive_before
+
+
+class FlowTracer:
+    """Wraps a kernel's delivery path and records every attempt."""
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.events: List[FlowEvent] = []
+        self.names: Dict[Handle, str] = {}
+        self._seq = 0
+        self._original = kernel._try_deliver
+        kernel._try_deliver = self._traced_deliver  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        self.kernel._try_deliver = self._original  # type: ignore[method-assign]
+
+    def name_handle(self, handle: Handle, name: str) -> None:
+        """Register a symbolic name for a handle (e.g. ``uT``)."""
+        self.names[handle] = name
+
+    # -- the wrapper ---------------------------------------------------------------
+
+    def _traced_deliver(self, task, entry, qmsg):
+        send_before = task.send_label.to_label()
+        receive_before = task.receive_label.to_label()
+        delivered = self._original(task, entry, qmsg)
+        self._seq += 1
+        self.events.append(
+            FlowEvent(
+                seq=self._seq,
+                sender=qmsg.sender_name,
+                receiver=task.name,
+                port=entry.handle,
+                delivered=delivered,
+                effective_send=qmsg.effective_send.to_label(),
+                verify=qmsg.verify.to_label(),
+                send_before=send_before,
+                send_after=task.send_label.to_label() if delivered else None,
+                receive_before=receive_before,
+                receive_after=task.receive_label.to_label() if delivered else None,
+            )
+        )
+        return delivered
+
+    # -- queries -----------------------------------------------------------------------
+
+    def drops(self) -> List[FlowEvent]:
+        return [e for e in self.events if not e.delivered]
+
+    def contaminations(self) -> List[FlowEvent]:
+        return [e for e in self.events if e.contaminated]
+
+    def between(self, sender: str, receiver: str) -> List[FlowEvent]:
+        return [
+            e for e in self.events if e.sender == sender and e.receiver == receiver
+        ]
+
+    # -- rendering ----------------------------------------------------------------------
+
+    def _fmt(self, label: Label) -> str:
+        return label.format(self.names)
+
+    def format(self, last: Optional[int] = None) -> str:
+        """A readable transcript (optionally only the *last* N events)."""
+        lines = []
+        events = self.events[-last:] if last else self.events
+        for e in events:
+            verdict = "  ->" if e.delivered else "  XX"
+            lines.append(
+                f"[{e.seq:>5}]{verdict} {e.sender} => {e.receiver}"
+                f"  ES={self._fmt(e.effective_send)}"
+            )
+            if e.delivered and e.contaminated:
+                lines.append(
+                    f"         contaminated: {self._fmt(e.send_before)}"
+                    f" -> {self._fmt(e.send_after)}"
+                )
+            if e.delivered and e.decontaminated_receive:
+                lines.append(
+                    f"         cleared:      {self._fmt(e.receive_before)}"
+                    f" -> {self._fmt(e.receive_after)}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""The HTTP client workload generator.
+
+Models the paper's measurement client (a Linux box on a gigabit LAN): it
+injects TCP events at the wire boundary — the one place the label system
+necessarily ends — and reads responses off the simulated NIC.
+
+Requests are "authenticated HTTP": the head chunk carries username,
+password, service and args (standing in for the request line + auth
+headers the paper's ok-demux parses); the body chunk is read by the
+worker, as in Figure 5 step 8.
+
+Two driving modes:
+
+- :meth:`HttpClient.request` — one blocking request (examples, tests);
+- :meth:`HttpClient.run_batch` — *concurrency*-sized waves of overlapping
+  connections, the closed-loop shape of the paper's throughput and
+  latency runs (Section 9.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.okws.launcher import OkwsSite
+
+
+@dataclass
+class HttpResponse:
+    """One completed request as observed at the client."""
+
+    conn_id: int
+    payload: Any                 # what the worker wrote (dict with headers/body)
+    open_cycles: int             # virtual time the connection opened
+    done_cycles: int             # virtual time the response hit the wire
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.done_cycles - self.open_cycles
+
+    @property
+    def ok(self) -> bool:
+        return isinstance(self.payload, dict) and self.payload.get("status") not in (403, 404)
+
+    @property
+    def body(self) -> Any:
+        return self.payload.get("body") if isinstance(self.payload, dict) else None
+
+
+@dataclass
+class HttpClient:
+    """Drives an :class:`~repro.okws.launcher.OkwsSite` over the wire."""
+
+    site: OkwsSite
+    _next_conn: int = 1
+
+    def _open(self, user: str, password: str, service: str,
+              body: Any, args: Optional[Dict[str, Any]]) -> Tuple[int, int]:
+        kernel = self.site.kernel
+        conn_id = self._next_conn
+        self._next_conn += 1
+        opened = kernel.clock.now
+        kernel.inject(self.site.netd_wire_port, {"type": "OPEN", "conn": conn_id, "dport": 80})
+        head = {
+            "user": user,
+            "password": password,
+            "service": service,
+            "args": dict(args or {}),
+        }
+        kernel.inject(
+            self.site.netd_wire_port,
+            {"type": "DATA", "conn": conn_id, "data": head},
+        )
+        kernel.inject(
+            self.site.netd_wire_port,
+            {"type": "DATA", "conn": conn_id, "data": body},
+        )
+        return conn_id, opened
+
+    def _collect(self, conn_id: int, opened: int) -> HttpResponse:
+        wire = self.site.wire
+        stamps = wire.stamps.pop(conn_id, [0])
+        chunks = wire.take(conn_id)
+        payload = chunks[-1] if chunks else None
+        self.site.kernel.inject(
+            self.site.netd_wire_port, {"type": "CLOSE", "conn": conn_id}
+        )
+        return HttpResponse(
+            conn_id=conn_id,
+            payload=payload,
+            open_cycles=opened,
+            done_cycles=stamps[-1],
+        )
+
+    def request(
+        self,
+        user: str,
+        password: str,
+        service: str,
+        body: Any = None,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> HttpResponse:
+        """One synchronous request; runs the machine to quiescence."""
+        conn_id, opened = self._open(user, password, service, body, args)
+        self.site.kernel.run()
+        response = self._collect(conn_id, opened)
+        self.site.kernel.run()
+        return response
+
+    def run_batch(
+        self,
+        requests: Sequence[Tuple[str, str, str, Any, Optional[Dict[str, Any]]]],
+        concurrency: int = 16,
+    ) -> List[HttpResponse]:
+        """Issue *requests* in closed-loop waves of *concurrency*.
+
+        Each tuple is (user, password, service, body, args).  Returns one
+        HttpResponse per request, in completion order within each wave.
+        """
+        kernel = self.site.kernel
+        responses: List[HttpResponse] = []
+        for wave_start in range(0, len(requests), concurrency):
+            wave = requests[wave_start : wave_start + concurrency]
+            opened: List[Tuple[int, int]] = []
+            for user, password, service, body, args in wave:
+                opened.append(self._open(user, password, service, body, args))
+            kernel.run()
+            for conn_id, open_time in opened:
+                responses.append(self._collect(conn_id, open_time))
+            kernel.run()
+        return responses

@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.handles import HandleAllocator
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS
+from repro.kernel.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    """A fresh simulated machine with tracing on (program crashes become
+    test failures instead of silent process exits)."""
+    return Kernel(trace=True)
+
+
+@pytest.fixture
+def alloc():
+    """A deterministic handle allocator for label-level tests."""
+    return HandleAllocator(key=b"test-boot")
+
+
+def random_label(rng: random.Random, max_entries: int = 40, handle_space: int = 100) -> Label:
+    """A random label over a small handle space (collisions intended)."""
+    n = rng.randint(0, max_entries)
+    entries = {rng.randrange(handle_space): rng.choice(ALL_LEVELS) for _ in range(n)}
+    return Label(entries, rng.choice(ALL_LEVELS))
+
+
+def run_program(kernel: Kernel, body, name: str = "prog", env=None, parent=None):
+    """Spawn *body*, run the machine to quiescence, return the process."""
+    process = kernel.spawn(body, name, env=env or {}, parent=parent)
+    kernel.run()
+    return process

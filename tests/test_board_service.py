@@ -1,0 +1,70 @@
+"""The bulletin-board application (paper Section 2's motivating class):
+private drafts, decentralized publishing, mixed public/private reads."""
+
+import pytest
+
+from repro.okws import ServiceConfig, launch
+from repro.okws.services import board_handler, board_publisher_handler
+from repro.sim.workload import HttpClient
+
+
+@pytest.fixture()
+def site():
+    return launch(
+        services=[
+            ServiceConfig("board", board_handler),
+            ServiceConfig("publish", board_publisher_handler, declassifier=True),
+        ],
+        users=[("alice", "pw-a"), ("bob", "pw-b"), ("carol", "pw-c")],
+        schema=["CREATE TABLE posts (author TEXT, text TEXT, published INTEGER)"],
+    )
+
+
+@pytest.fixture()
+def client(site):
+    return HttpClient(site)
+
+
+def test_drafts_are_private(site, client):
+    client.request("alice", "pw-a", "board", body="WIP: resignation letter", args={"op": "draft"})
+    # Alice sees her draft; bob sees an empty board.
+    assert client.request("alice", "pw-a", "board", args={"op": "drafts"}).body == [
+        "WIP: resignation letter"
+    ]
+    assert client.request("bob", "pw-b", "board", args={"op": "read"}).body == []
+    # The kernel, not SQL, kept it private.
+    assert site.kernel.drop_log.count("label-check") >= 1
+
+
+def test_publish_flow(site, client):
+    client.request("alice", "pw-a", "board", body="hello world", args={"op": "draft"})
+    r = client.request("alice", "pw-a", "publish")
+    assert "published 1" in r.body
+    for user, pw in (("bob", "pw-b"), ("carol", "pw-c")):
+        posts = client.request(user, pw, "board", args={"op": "read"}).body
+        assert posts == [{"author": "alice", "text": "hello world", "published": True}]
+
+
+def test_mixed_read_combines_own_drafts_and_public(site, client):
+    client.request("alice", "pw-a", "board", body="public soon", args={"op": "draft"})
+    client.request("alice", "pw-a", "publish")
+    client.request("bob", "pw-b", "board", body="bob-draft", args={"op": "draft"})
+    bob_view = client.request("bob", "pw-b", "board", args={"op": "read"}).body
+    texts = {p["text"] for p in bob_view}
+    assert texts == {"public soon", "bob-draft"}
+    # Published flag distinguishes them.
+    flags = {p["text"]: p["published"] for p in bob_view}
+    assert flags["public soon"] is True and flags["bob-draft"] is False
+
+
+def test_publisher_only_publishes_its_user(site, client):
+    client.request("alice", "pw-a", "board", body="alice-1", args={"op": "draft"})
+    client.request("bob", "pw-b", "board", body="bob-1", args={"op": "draft"})
+    client.request("bob", "pw-b", "publish")        # bob publishes *his* drafts
+    carol_view = client.request("carol", "pw-c", "board", args={"op": "read"}).body
+    assert [p["text"] for p in carol_view] == ["bob-1"]
+
+
+def test_publish_with_nothing_to_publish(site, client):
+    r = client.request("carol", "pw-c", "publish")
+    assert "published 0" in r.body

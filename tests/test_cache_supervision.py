@@ -1,0 +1,151 @@
+"""Production extensions the paper sketches: the shared worker cache
+("Asbestos could without much trouble support a shared cache that
+isolated users", §7.3) and launcher supervision ("a more mature version
+of launcher could restart dead processes", §7.1)."""
+
+import pytest
+
+from repro.okws import ServiceConfig, launch
+from repro.sim.workload import HttpClient
+
+
+def writer_handler(ectx, request):
+    yield from request.cache.put("profile", f"{request.user}'s data")
+    return {"body": "stored"}
+
+
+def reader_handler(ectx, request):
+    value, hit = yield from request.cache.get("profile")
+    public, public_hit = yield from request.cache.get("motd", owner=0)
+    return {"body": {"mine": value, "hit": hit, "public": public}}
+
+
+def publisher_handler(ectx, request):
+    # A declassifier worker: may publish into the public namespace.
+    yield from request.cache.put_public("motd", f"announcement by {request.user}")
+    return {"body": "published"}
+
+
+def imposter_publisher_handler(ectx, request):
+    # A NON-declassifier worker trying the same put_public: its verify
+    # label V(uT)=⋆ cannot bound its uT-3 send label, so the kernel drops
+    # the request and the worker hangs (visible as a None response).
+    yield from request.cache.put_public("motd", "defaced!")
+    return {"body": "published?!"}
+
+
+def snoop_handler(ectx, request):
+    value, _ = yield from request.cache.get("profile", owner=1)  # alice's
+    return {"body": {"stolen": value}}
+
+
+def crashy_handler(ectx, request):
+    if request.args.get("boom"):
+        raise RuntimeError("exploited")
+    request.session["n"] = request.session.get("n", 0) + 1
+    return {"body": request.session["n"]}
+    yield
+
+
+@pytest.fixture()
+def site():
+    return launch(
+        services=[
+            ServiceConfig("w", writer_handler),
+            ServiceConfig("r", reader_handler),
+            ServiceConfig("snoop", snoop_handler),
+            ServiceConfig("pub", publisher_handler, declassifier=True),
+            ServiceConfig("fakepub", imposter_publisher_handler),
+            ServiceConfig("crashy", crashy_handler),
+        ],
+        users=[("alice", "pw-a"), ("bob", "pw-b")],
+    )
+
+
+@pytest.fixture()
+def client(site):
+    return HttpClient(site)
+
+
+# -- shared cache ------------------------------------------------------------------
+
+
+def test_cache_shared_across_services_per_user(site, client):
+    client.request("alice", "pw-a", "w")            # service w writes...
+    r = client.request("alice", "pw-a", "r")        # ...service r reads
+    assert r.body["mine"] == "alice's data"
+    assert r.body["hit"] is True
+
+
+def test_cache_isolates_users(site, client):
+    client.request("alice", "pw-a", "w")
+    r = client.request("bob", "pw-b", "r")
+    assert r.body["hit"] is False                   # bob has no entry
+    assert r.body["mine"] is None
+
+
+def test_cache_snoop_gets_silence(site, client):
+    client.request("alice", "pw-a", "w")
+    before = site.kernel.drop_log.count("label-check")
+    r = client.request("bob", "pw-b", "snoop")
+    # The GET reply carried alice's taint; bob's worker EP could not
+    # receive it and is now wedged — no response, no error, no signal.
+    assert r.payload is None
+    assert site.kernel.drop_log.count("label-check") == before + 1
+
+
+def test_cache_survives_worker_restart(site, client):
+    client.request("alice", "pw-a", "w")
+    client.request("alice", "pw-a", "crashy", args={"boom": 1})   # kill a worker
+    site.kernel.run()
+    assert site.launcher_env["restarts"] == ["crashy"]
+    # The cache is a separate trusted process: alice's entry survived.
+    r = client.request("alice", "pw-a", "r")
+    assert r.body["mine"] == "alice's data"
+
+
+def test_declassifier_publishes_public_entry(site, client):
+    client.request("alice", "pw-a", "pub")
+    r = client.request("bob", "pw-b", "r")
+    assert r.body["public"] == "announcement by alice"
+
+
+def test_non_declassifier_cannot_publish(site, client):
+    before = site.kernel.drop_log.count("label-check")
+    r = client.request("bob", "pw-b", "fakepub")
+    assert r.payload is None                        # request never arrived
+    assert site.kernel.drop_log.count("label-check") == before + 1
+    # And nothing public appeared.
+    r2 = client.request("alice", "pw-a", "r")
+    assert r2.body["public"] is None
+
+
+# -- supervision -----------------------------------------------------------------------
+
+
+def test_worker_restart_restores_service(site, client):
+    assert client.request("alice", "pw-a", "crashy").body == 1
+    assert client.request("alice", "pw-a", "crashy").body == 2    # session
+    r = client.request("alice", "pw-a", "crashy", args={"boom": 1})
+    assert r.payload is None                        # the crash ate the request
+    site.kernel.run()
+    assert "crashy" in site.launcher_env["restarts"]
+    # Service works again; sessions (worker-local EPs) started over.
+    assert client.request("alice", "pw-a", "crashy").body == 1
+
+
+def test_restart_mints_fresh_verification_handle(site, client):
+    client.request("alice", "pw-a", "crashy", args={"boom": 1})
+    site.kernel.run()
+    # Two distinct worker-crashy processes existed over time; the demux
+    # accepted the new one's REGISTER, which required the *new* handle.
+    workers = [p for p in site.kernel.processes.values() if p.name == "worker-crashy"]
+    assert len(workers) == 1                        # old one is gone
+    assert client.request("bob", "pw-b", "crashy").body == 1
+
+
+def test_other_workers_unaffected_by_restart(site, client):
+    client.request("alice", "pw-a", "w")
+    client.request("alice", "pw-a", "crashy", args={"boom": 1})
+    site.kernel.run()
+    assert client.request("alice", "pw-a", "r").body["hit"] is True

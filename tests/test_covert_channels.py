@@ -1,0 +1,60 @@
+"""The Section 8 storage channels: both work as described, both require
+processes per bit, and fork-rate limiting bounds the leak."""
+
+import pytest
+
+from repro.covert import ForkRateLimiter, label_observation_channel, yield_order_channel
+from repro.kernel.kernel import Kernel
+
+
+def test_label_observation_channel_leaks():
+    sent, received = label_observation_channel([1, 0, 1, 1, 0, 0, 1, 0])
+    assert received == sent
+
+
+def test_label_observation_channel_all_zeroes_and_ones():
+    for bits in ([0, 0, 0], [1, 1, 1]):
+        sent, received = label_observation_channel(bits)
+        assert received == sent
+
+
+def test_yield_order_channel_leaks():
+    sent, received = yield_order_channel([0, 1, 1, 0, 1, 0, 0, 1])
+    assert received == sent
+
+
+def test_channels_cost_processes_per_bit():
+    kernel = Kernel()
+    label_observation_channel([1, 0, 1], kernel=kernel)
+    # Orchestrator + A + C + 2 B-processes per bit.
+    assert kernel._pid >= 3 + 2 * 3
+
+
+def test_fork_limiter_bounds_the_leak():
+    kernel = Kernel()
+    limiter = ForkRateLimiter(budget=6)  # C + A + two Bs per bit
+    kernel.fork_limiter = limiter
+    sent, received = label_observation_channel([1, 0, 1, 1, 0], kernel=kernel)
+    assert len(received) == 2           # only two bits escaped
+    assert received == sent[:2]
+    assert limiter.denied >= 1
+
+
+def test_fork_limiter_zero_budget_blocks_everything():
+    kernel = Kernel()
+    kernel.fork_limiter = ForkRateLimiter(budget=2)  # C and A only
+    sent, received = label_observation_channel([1, 1, 1], kernel=kernel)
+    assert received == []
+
+
+def test_fork_limiter_is_per_parent():
+    limiter = ForkRateLimiter(budget=1)
+
+    class FakeParent:
+        def __init__(self, key):
+            self.key = key
+
+    assert limiter(FakeParent("a"))
+    assert not limiter(FakeParent("a"))
+    assert limiter(FakeParent("b"))
+    assert limiter.denied == 1

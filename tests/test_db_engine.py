@@ -1,0 +1,114 @@
+"""Unit tests for the relational engine."""
+
+import pytest
+
+from repro.db import Database, SqlError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE users (uid INTEGER, name TEXT, password TEXT)")
+    for uid, name in enumerate(["alice", "bob", "carol"], start=1):
+        database.execute(
+            "INSERT INTO users (uid, name, password) VALUES (?, ?, ?)",
+            (uid, name, f"pw-{name}"),
+        )
+    return database
+
+
+def test_select_all(db):
+    result = db.execute("SELECT * FROM users")
+    assert len(result.rows) == 3
+    assert result.rows_scanned == 3
+
+
+def test_select_where(db):
+    result = db.execute("SELECT uid FROM users WHERE name = ?", ("bob",))
+    assert result.rows == [{"uid": 2}]
+    # The modelled engine is unindexed: a lookup scans the whole table.
+    assert result.rows_scanned == 3
+
+
+def test_select_where_and(db):
+    result = db.execute(
+        "SELECT uid FROM users WHERE name = ? AND password = ?", ("bob", "nope")
+    )
+    assert result.rows == []
+
+
+def test_select_contradictory_where(db):
+    result = db.execute("SELECT uid FROM users WHERE name = 'alice' AND name = 'bob'")
+    assert result.rows == []
+
+
+def test_update(db):
+    result = db.execute("UPDATE users SET password = ? WHERE uid = ?", ("new", 1))
+    assert result.rows_affected == 1
+    assert db.execute("SELECT password FROM users WHERE uid = 1").rows == [
+        {"password": "new"}
+    ]
+
+
+def test_update_then_lookup_uses_fresh_data(db):
+    # Index invalidation: a lookup after an update must see new values.
+    db.execute("SELECT uid FROM users WHERE password = ?", ("pw-alice",))
+    db.execute("UPDATE users SET password = ? WHERE uid = ?", ("changed", 1))
+    assert db.execute("SELECT uid FROM users WHERE password = ?", ("pw-alice",)).rows == []
+    assert db.execute("SELECT uid FROM users WHERE password = ?", ("changed",)).rows == [
+        {"uid": 1}
+    ]
+
+
+def test_delete(db):
+    result = db.execute("DELETE FROM users WHERE name = 'bob'")
+    assert result.rows_affected == 1
+    assert len(db.execute("SELECT * FROM users").rows) == 2
+
+
+def test_insert_after_select_visible(db):
+    db.execute("SELECT uid FROM users WHERE name = ?", ("dave",))
+    db.execute("INSERT INTO users (uid, name, password) VALUES (4, 'dave', 'x')")
+    assert db.execute("SELECT uid FROM users WHERE name = ?", ("dave",)).rows == [
+        {"uid": 4}
+    ]
+
+
+def test_type_checking(db):
+    with pytest.raises(SqlError):
+        db.execute("INSERT INTO users (uid, name, password) VALUES ('x', 'd', 'p')")
+
+
+def test_unknown_table(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT * FROM missing")
+
+
+def test_unknown_column(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT nope FROM users")
+    with pytest.raises(SqlError):
+        db.execute("SELECT uid FROM users WHERE nope = 1")
+
+
+def test_duplicate_table(db):
+    with pytest.raises(SqlError):
+        db.execute("CREATE TABLE users (x INTEGER)")
+
+
+def test_duplicate_column():
+    db = Database()
+    with pytest.raises(SqlError):
+        db.execute("CREATE TABLE t (a INTEGER, a TEXT)")
+
+
+def test_missing_parameter(db):
+    with pytest.raises(SqlError):
+        db.execute("SELECT uid FROM users WHERE name = ?")
+
+
+def test_total_rows_scanned_accumulates(db):
+    before = db.total_rows_scanned
+    db.execute("SELECT * FROM users")
+    db.execute("SELECT uid FROM users WHERE name = 'alice'")
+    assert db.total_rows_scanned == before + 6

@@ -1,0 +1,225 @@
+"""idd and ok-dbproxy behaviour (paper Sections 7.4 and 7.5), tested
+through a running OKWS site plus direct protocol probes."""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.core.levels import L0, L2, L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel.syscalls import NewPort, Recv, Send, SetPortLabel
+from repro.okws import ServiceConfig, launch
+from repro.okws.services import notes_handler
+from repro.sim.workload import HttpClient
+
+
+@pytest.fixture()
+def site():
+    return launch(
+        services=[ServiceConfig("notes", notes_handler)],
+        users=[("alice", "pw-a"), ("bob", "pw-b")],
+        schema=["CREATE TABLE notes (author TEXT, text TEXT)"],
+    )
+
+
+def probe(site, script, name="probe"):
+    """Run a script(ctx, chan) process against the site; returns the proc."""
+
+    def body(ctx):
+        chan = yield from Channel.open()
+        ctx.env["result"] = yield from script(ctx, chan)
+
+    proc = site.kernel.spawn(body, name)
+    site.kernel.run()
+    return proc
+
+
+# -- idd ---------------------------------------------------------------------------------
+
+
+def test_idd_login_success_returns_handles(site):
+    def script(ctx, chan):
+        r = yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="pw-a")
+        )
+        from repro.kernel import GetLabels
+        send, _ = yield GetLabels()
+        return {
+            "ok": r.payload["ok"],
+            "uid": r.payload["uid"],
+            "taint_level": send(r.payload["taint"]),
+            "grant_level": send(r.payload["grant"]),
+        }
+
+    proc = probe(site, script)
+    result = proc.env["result"]
+    assert result["ok"] and result["uid"] == 1
+    # The LOGIN_R's DS granted both handles at ⋆ (step 4, Figure 5).
+    assert result["taint_level"] == STAR
+    assert result["grant_level"] == STAR
+
+
+def test_idd_login_caches_handles(site):
+    def script(ctx, chan):
+        r1 = yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="pw-a")
+        )
+        r2 = yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="pw-a")
+        )
+        return (r1.payload, r2.payload)
+
+    proc = probe(site, script)
+    r1, r2 = proc.env["result"]
+    assert r1["taint"] == r2["taint"]
+    assert r1["grant"] == r2["grant"]
+
+
+def test_idd_login_bad_password(site):
+    def script(ctx, chan):
+        r = yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="nope")
+        )
+        return r.payload
+
+    assert probe(site, script).env["result"] == {"type": P.LOGIN_R, "ok": False}
+
+
+def test_idd_affirm_checks_binding(site):
+    def script(ctx, chan):
+        login = yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="pw-a")
+        )
+        good = yield from chan.call(
+            site.idd_port,
+            P.request(
+                "AFFIRM",
+                uid=login.payload["uid"],
+                taint=login.payload["taint"],
+                grant=login.payload["grant"],
+            ),
+        )
+        bad = yield from chan.call(
+            site.idd_port,
+            P.request("AFFIRM", uid=login.payload["uid"], taint=12345, grant=678),
+        )
+        return (good.payload["ok"], bad.payload["ok"])
+
+    assert probe(site, script).env["result"] == (True, False)
+
+
+def test_idd_send_label_grows_two_stars_per_user(site):
+    client = HttpClient(site)
+    idd = next(p for p in site.kernel.processes.values() if p.name == "idd")
+    before = len(idd.send_label)
+    client.request("alice", "pw-a", "notes", args={"op": "list"})
+    client.request("bob", "pw-b", "notes", args={"op": "list"})
+    after = len(idd.send_label)
+    # Two handles per user (Section 9.3): uT and uG, held at ⋆.
+    assert after == before + 4
+    # Re-login does not grow it further.
+    client.request("alice", "pw-a", "notes", args={"op": "list"})
+    assert len(idd.send_label) == after
+
+
+# -- ok-dbproxy -------------------------------------------------------------------------
+
+
+def test_admin_port_requires_admin_handle(site):
+    # A stranger cannot reach the raw SQL interface at all: the port label
+    # {admin 0, 2} drops the message in the kernel.
+    def script(ctx, chan):
+        yield Send(
+            site.dbproxy_admin_port,
+            dict(P.request(P.QUERY, sql="SELECT * FROM users"), reply=chan.port),
+        )
+        msg = yield Recv(port=chan.port, block=False)
+        return msg
+
+    before = site.kernel.drop_log.count("label-check")
+    proc = probe(site, script)
+    assert proc.env["result"] is None
+    assert site.kernel.drop_log.count("label-check") == before + 1
+
+
+def test_public_port_rejects_user_id_column(site):
+    def script(ctx, chan):
+        r = yield from chan.call(
+            site.dbproxy_port,
+            P.request(P.QUERY, sql="SELECT _user_id FROM notes", uid=1),
+        )
+        return r.payload
+
+    result = probe(site, script).env["result"]
+    assert result["type"] == P.ERROR_R
+    assert "private" in result["error"]
+
+
+def test_public_port_rejects_schema_changes(site):
+    def script(ctx, chan):
+        r = yield from chan.call(
+            site.dbproxy_port,
+            P.request(P.QUERY, sql="CREATE TABLE evil (x INTEGER)", uid=1),
+        )
+        return r.payload
+
+    assert probe(site, script).env["result"]["type"] == P.ERROR_R
+
+
+def test_write_without_verify_rejected(site):
+    def script(ctx, chan):
+        # uid 1 exists (alice logged in during fixture? ensure via login)
+        yield from chan.call(
+            site.idd_port, P.request(P.LOGIN, user="alice", password="pw-a")
+        )
+        r = yield from chan.call(
+            site.dbproxy_port,
+            P.request(
+                P.QUERY, sql="INSERT INTO notes (author, text) VALUES ('a', 'x')", uid=1
+            ),
+        )
+        return r.payload
+
+    result = probe(site, script).env["result"]
+    assert result["type"] == P.ERROR_R
+
+
+def test_write_with_unknown_uid_rejected(site):
+    def script(ctx, chan):
+        r = yield from chan.call(
+            site.dbproxy_port,
+            P.request(
+                P.QUERY, sql="INSERT INTO notes (author, text) VALUES ('z', 'x')", uid=999
+            ),
+        )
+        return r.payload
+
+    result = probe(site, script).env["result"]
+    assert "unknown user" in result["error"]
+
+
+def test_select_returns_public_rows_untainted(site):
+    # Seed a public row via the launcher-side admin channel... easiest:
+    # declassified rows are _user_id = 0; BULK_INSERT defaults to public.
+    client = HttpClient(site)
+    client.request("alice", "pw-a", "notes", body="mine", args={"op": "add"})
+
+    def script(ctx, chan):
+        rows = []
+        yield Send(
+            site.dbproxy_port,
+            dict(
+                P.request(P.QUERY, sql="SELECT author, text FROM notes", uid=None),
+                reply=chan.port,
+            ),
+        )
+        while True:
+            msg = yield Recv(port=chan.port)
+            if msg.payload["type"] == P.DONE_R:
+                return rows
+            if msg.payload["type"] == P.ROW_R:
+                rows.append(msg.payload["row"])
+
+    # The probe is untainted: alice's private row is dropped by the kernel,
+    # so the probe sees nothing — and cannot tell how many rows were sent.
+    assert probe(site, script).env["result"] == []

@@ -1,0 +1,237 @@
+"""Edge cases across the kernel surface: ep_clean addressing modes,
+environment access from EPs, the Compute syscall, exit notifications,
+fork limiting at the syscall boundary, and run-loop guards."""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.kernel import (
+    Compute,
+    EpCheckpoint,
+    EpClean,
+    EpYield,
+    GetEnv,
+    Kernel,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+from repro.kernel.clock import NETWORK, OTHER
+from repro.kernel.errors import InvalidArgument, ResourceExhausted, SimulationError
+from repro.kernel.memory import PAGE_SIZE
+
+
+def open_port():
+    port = yield NewPort()
+    yield SetPortLabel(port, Label.top())
+    return port
+
+
+def spawn_realm(kernel, event_body, base_setup=None):
+    def body(ctx):
+        if base_setup is not None:
+            base_setup(ctx)
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield EpCheckpoint(event_body)
+
+    proc = kernel.spawn(body, "worker")
+    kernel.run()
+    return proc
+
+
+def test_ep_clean_by_range(kernel):
+    log = []
+
+    def event_body(ectx, msg):
+        start = ectx.mem.region("arena").start
+        ectx.mem.write(start, b"dirty")
+        ectx.mem.write(start + PAGE_SIZE, b"dirty2")
+        dropped = yield EpClean(start=start, length=PAGE_SIZE)  # first page only
+        log.append((dropped, ectx.mem.read(start, 5), ectx.mem.read(start + PAGE_SIZE, 6)))
+
+    proc = spawn_realm(
+        kernel, event_body, base_setup=lambda ctx: ctx.mem.alloc(2 * PAGE_SIZE, "arena")
+    )
+    # Initialise arena content in the base... it is zeroed by default.
+    kernel.inject(proc.env["port"], "go")
+    kernel.run()
+    dropped, first, second = log[0]
+    assert dropped == 1
+    assert first == b"\x00" * 5          # reverted
+    assert second == b"dirty2"           # untouched private page
+
+
+def test_ep_clean_by_region_and_bad_args(kernel):
+    log = []
+
+    def event_body(ectx, msg):
+        ectx.mem.alloc(PAGE_SIZE, "scratch")
+        ectx.mem.write(ectx.mem.region("scratch").start, b"x")
+        dropped = yield EpClean(region="scratch")
+        log.append(dropped)
+        try:
+            yield EpClean()
+        except InvalidArgument:
+            log.append("bad-args")
+
+    proc = spawn_realm(kernel, event_body)
+    kernel.inject(proc.env["port"], "go")
+    kernel.run()
+    assert log == [1, "bad-args"]
+
+
+def test_getenv_from_event_process(kernel):
+    seen = []
+
+    def event_body(ectx, msg):
+        env = yield GetEnv()
+        seen.append(env.get("flag"))
+        return
+        yield
+
+    def body(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield EpCheckpoint(event_body)
+
+    proc = kernel.spawn(body, "worker", env={"flag": "inherited"})
+    kernel.run()
+    kernel.inject(proc.env["port"], "go")
+    kernel.run()
+    assert seen == ["inherited"]
+
+
+def test_compute_syscall_charges_component(kernel):
+    def prog(ctx):
+        yield Compute(123_456)
+        yield Compute(1_000, category=NETWORK)
+
+    kernel.spawn(prog, "prog", component=OTHER)
+    before_other = kernel.clock.by_category.get(OTHER, 0)
+    kernel.run()
+    assert kernel.clock.by_category[NETWORK] >= 1_000
+    assert kernel.clock.by_category[OTHER] - before_other >= 123_456
+
+
+def test_exit_notification_delivered(kernel):
+    obituaries = []
+
+    def supervisor(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        def child(cctx):
+            yield NewPort()
+
+        yield Spawn(child, name="short-lived", notify_exit=port)
+        msg = yield Recv(port=port)
+        obituaries.append(msg.payload)
+
+    kernel.spawn(supervisor, "supervisor")
+    kernel.run()
+    assert obituaries[0]["type"] == "EXITED"
+    assert obituaries[0]["name"] == "short-lived"
+    assert obituaries[0]["crashed"] is False
+
+
+def test_exit_notification_marks_crashes():
+    kernel = Kernel(trace=False)
+    obituaries = []
+
+    def supervisor(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+
+        def child(cctx):
+            yield NewPort()
+            raise RuntimeError("boom")
+
+        yield Spawn(child, name="crasher", notify_exit=port)
+        msg = yield Recv(port=port)
+        obituaries.append(msg.payload)
+
+    kernel.spawn(supervisor, "supervisor")
+    kernel.run()
+    assert obituaries[0]["crashed"] is True
+
+
+def test_spawn_syscall_respects_fork_limiter(kernel):
+    from repro.covert import ForkRateLimiter
+
+    kernel.fork_limiter = ForkRateLimiter(budget=1)
+    results = []
+
+    def parent(ctx):
+        def child(cctx):
+            yield NewPort()
+
+        yield Spawn(child, name="one")
+        try:
+            yield Spawn(child, name="two")
+        except ResourceExhausted:
+            results.append("denied")
+
+    kernel.spawn(parent, "parent")
+    kernel.run()
+    assert results == ["denied"]
+
+
+def test_run_guard_against_livelock(kernel):
+    def spinner(ctx):
+        port = yield from open_port()
+        while True:
+            yield Send(port, "self")      # to self, forever
+            yield Recv(port=port)
+
+    kernel.spawn(spinner, "spinner")
+    with pytest.raises(SimulationError):
+        kernel.run(max_steps=100)
+
+
+def test_double_checkpoint_rejected(kernel):
+    def event_body(ectx, msg):
+        return
+        yield
+
+    def body(ctx):
+        yield EpCheckpoint(event_body)
+        yield EpCheckpoint(event_body)   # never reached: base never runs
+
+    proc = kernel.spawn(body, "worker")
+    kernel.run()
+    # The base is parked in the EP realm; the second checkpoint is dead
+    # code by construction.  Attempting ep syscalls from a plain process
+    # is a simulation error:
+    def bad(ctx):
+        yield EpYield()
+
+    kernel.spawn(bad, "bad")
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_msgq_region_returns_after_clean(kernel):
+    sizes = []
+
+    def event_body(ectx, msg):
+        while True:
+            sizes.append(ectx.mem.region("msgq") is not None)
+            yield EpClean(keep=("session",))
+            msg = yield EpYield()
+
+    def body(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield EpCheckpoint(event_body)
+
+    proc = kernel.spawn(body, "worker")
+    kernel.run()
+    # First activation creates the EP; resume it twice via its own port...
+    # it owns no port here, so send to the base port creates new EPs; use
+    # three base messages and confirm each activation saw a msgq region.
+    for _ in range(3):
+        kernel.inject(proc.env["port"], "m")
+    kernel.run()
+    assert sizes == [True, True, True]

@@ -1,0 +1,312 @@
+"""Kernel IPC basics: ports, messaging, blocking receive, environment
+bootstrap, process lifecycle (paper Section 4)."""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.kernel import (
+    DissociatePort,
+    Exit,
+    GetEnv,
+    Kernel,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+from repro.kernel.errors import NotOwner, SimulationError
+from repro.kernel.process import TaskState
+
+
+def open_port():
+    """Sub-generator: create a port anyone may send to."""
+    port = yield NewPort()
+    yield SetPortLabel(port, Label.top())
+    return port
+
+
+def test_basic_send_recv(kernel):
+    log = []
+
+    def server(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        msg = yield Recv(port=port)
+        log.append(msg.payload)
+
+    srv = kernel.spawn(server, "server")
+    kernel.run()
+
+    def client(ctx):
+        yield Send(ctx.env["target"], {"n": 42})
+
+    kernel.spawn(client, "client", env={"target": srv.env["port"]})
+    kernel.run()
+    assert log == [{"n": 42}]
+
+
+def test_fifo_delivery_order(kernel):
+    received = []
+
+    def server(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        for _ in range(5):
+            msg = yield Recv(port=port)
+            received.append(msg.payload)
+
+    srv = kernel.spawn(server, "server")
+    kernel.run()
+
+    def client(ctx):
+        for i in range(5):
+            yield Send(ctx.env["t"], i)
+
+    kernel.spawn(client, "client", env={"t": srv.env["port"]})
+    kernel.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_recv_any_port_global_order(kernel):
+    received = []
+
+    def server(ctx):
+        a = yield from open_port()
+        b = yield from open_port()
+        ctx.env["a"], ctx.env["b"] = a, b
+        for _ in range(4):
+            msg = yield Recv()
+            received.append((msg.port, msg.payload))
+
+    srv = kernel.spawn(server, "server")
+    kernel.run()
+
+    def client(ctx):
+        yield Send(ctx.env["b"], 1)
+        yield Send(ctx.env["a"], 2)
+        yield Send(ctx.env["b"], 3)
+        yield Send(ctx.env["a"], 4)
+
+    kernel.spawn(client, "client", env={"a": srv.env["a"], "b": srv.env["b"]})
+    kernel.run()
+    assert [payload for _, payload in received] == [1, 2, 3, 4]
+    assert received[0][0] == srv.env["b"]
+
+
+def test_nonblocking_recv_returns_none(kernel):
+    results = []
+
+    def prog(ctx):
+        port = yield from open_port()
+        msg = yield Recv(port=port, block=False)
+        results.append(msg)
+
+    kernel.spawn(prog, "prog")
+    kernel.run()
+    assert results == [None]
+
+
+def test_blocking_recv_blocks(kernel):
+    def prog(ctx):
+        port = yield from open_port()
+        yield Recv(port=port)
+
+    proc = kernel.spawn(prog, "prog")
+    kernel.run()
+    assert proc.state == TaskState.BLOCKED
+
+
+def test_recv_on_unowned_port_raises(kernel):
+    caught = []
+
+    def a(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield Recv(port=port)
+
+    pa = kernel.spawn(a, "a")
+    kernel.run()
+
+    def b(ctx):
+        try:
+            yield Recv(port=ctx.env["other"])
+        except NotOwner as err:
+            caught.append(err)
+
+    kernel.spawn(b, "b", env={"other": pa.env["port"]})
+    kernel.run()
+    assert len(caught) == 1
+
+
+def test_send_to_unknown_port_is_silent(kernel):
+    results = []
+
+    def prog(ctx):
+        ok = yield Send(123456789, {"x": 1})
+        results.append(ok)
+
+    kernel.spawn(prog, "prog")
+    kernel.run()
+    # Unreliable send: success is reported even though nothing exists.
+    assert results == [True]
+    assert kernel.drop_log.count("dead-port") == 1
+
+
+def test_send_to_dissociated_port_is_silent(kernel):
+    def server(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield DissociatePort(port)
+
+    srv = kernel.spawn(server, "server")
+    kernel.run()
+
+    def client(ctx):
+        ok = yield Send(ctx.env["t"], "hello")
+        assert ok is True
+
+    kernel.spawn(client, "client", env={"t": srv.env["port"]})
+    kernel.run()
+    assert kernel.drop_log.count("dead-port") == 1
+
+
+def test_dissociate_requires_ownership(kernel):
+    caught = []
+
+    def a(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield Recv(port=port)
+
+    pa = kernel.spawn(a, "a")
+    kernel.run()
+
+    def b(ctx):
+        try:
+            yield DissociatePort(ctx.env["p"])
+        except NotOwner:
+            caught.append(True)
+
+    kernel.spawn(b, "b", env={"p": pa.env["port"]})
+    kernel.run()
+    assert caught == [True]
+
+
+def test_port_names_are_unpredictable_handles(kernel):
+    ports = []
+
+    def prog(ctx):
+        for _ in range(20):
+            ports.append((yield NewPort()))
+
+    kernel.spawn(prog, "prog")
+    kernel.run()
+    assert len(set(ports)) == 20
+    assert ports != sorted(ports)  # not sequential
+
+
+def test_env_bootstrap(kernel):
+    seen = {}
+
+    def child(ctx):
+        env = yield GetEnv()
+        seen.update(env)
+
+    def parent(ctx):
+        yield Spawn(child, name="child", env={"service_port": 99})
+
+    kernel.spawn(parent, "parent")
+    kernel.run()
+    assert seen["service_port"] == 99
+
+
+def test_exit_frees_resources(kernel):
+    def prog(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        ctx.mem.alloc(4096, "data")
+        yield Exit()
+
+    before = kernel.accountant.in_use
+    proc = kernel.spawn(prog, "prog")
+    kernel.run()
+    assert proc.state == TaskState.EXITED
+    assert kernel.accountant.in_use == before  # stack + data all released
+    assert proc.env["port"] not in kernel.ports
+
+
+def test_crashing_process_is_reaped():
+    kernel = Kernel(trace=False)  # trace=True would re-raise
+
+    def prog(ctx):
+        yield NewPort()
+        raise RuntimeError("boom")
+
+    proc = kernel.spawn(prog, "prog")
+    kernel.run()
+    assert proc.state == TaskState.EXITED
+
+
+def test_non_generator_body_rejected(kernel):
+    def not_a_generator(ctx):
+        return 42
+
+    with pytest.raises(SimulationError):
+        kernel.spawn(not_a_generator, "bad")
+
+
+def test_yielding_garbage_is_a_simulation_error(kernel):
+    def prog(ctx):
+        yield "not-a-syscall"
+
+    kernel.spawn(prog, "prog")
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_queue_limit_drops(kernel):
+    def server(ctx):
+        port = yield from open_port()
+        ctx.env["port"] = port
+        yield Recv(port=(yield from open_port()))  # block forever elsewhere
+
+    srv = kernel.spawn(server, "server")
+    kernel.run()
+
+    def flooder(ctx):
+        for i in range(2000):
+            yield Send(ctx.env["t"], i)
+
+    kernel.spawn(flooder, "flooder", env={"t": srv.env["port"]})
+    kernel.run()
+    assert kernel.drop_log.count("queue-limit") > 0
+
+
+def test_deterministic_replay():
+    def run_once():
+        kernel = Kernel()
+        log = []
+
+        def server(ctx):
+            port = yield from open_port()
+            ctx.env["port"] = port
+            for _ in range(3):
+                msg = yield Recv(port=port)
+                log.append(msg.payload)
+                yield Send(msg.payload["reply"], msg.payload["n"] * 2)
+
+        srv = kernel.spawn(server, "server")
+        kernel.run()
+
+        def client(ctx):
+            reply = yield from open_port()
+            for n in range(3):
+                yield Send(ctx.env["t"], {"n": n, "reply": reply})
+                yield Recv(port=reply)
+
+        kernel.spawn(client, "client", env={"t": srv.env["port"]})
+        kernel.run()
+        return log, kernel.clock.now, kernel.steps_executed
+
+    assert run_once() == run_once()

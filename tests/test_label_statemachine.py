@@ -1,0 +1,107 @@
+"""Model-based (stateful) testing of the kernel label representation.
+
+Hypothesis drives long random sequences of the operations the kernel
+actually performs on a label over its lifetime — sparse updates (handle
+grants/releases), Figure 4 effect applications, receive raises — against
+a plain-dict model.  This hunts for state-dependent corruption the
+per-operation property tests cannot see (e.g. chunk splits/rebalances
+interacting with earlier updates)."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.core import labelops
+from repro.core.chunks import CHUNK_CAPACITY, ChunkedLabel, OpStats
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS, L1, STAR
+
+levels = st.sampled_from(ALL_LEVELS)
+handles = st.integers(min_value=0, max_value=400)
+small_labels = st.builds(
+    Label,
+    st.dictionaries(handles, levels, max_size=6),
+    default=levels,
+)
+
+
+class LabelLifecycle(RuleBasedStateMachine):
+    @initialize(default=levels)
+    def start(self, default):
+        self.label = ChunkedLabel.from_label(Label({}, default))
+        self.model = {}
+        self.default = default
+
+    def _model_label(self) -> Label:
+        return Label(dict(self.model), self.default)
+
+    @rule(handle=handles, level=levels)
+    def sparse_update(self, handle, level):
+        self.label = labelops.sparse_update(self.label, {handle: level}, OpStats())
+        if level == self.default:
+            self.model.pop(handle, None)
+        else:
+            self.model[handle] = level
+
+    @rule(updates=st.dictionaries(handles, levels, min_size=1, max_size=8))
+    def sparse_update_batch(self, updates):
+        self.label = labelops.sparse_update(self.label, updates, OpStats())
+        for handle, level in updates.items():
+            if level == self.default:
+                self.model.pop(handle, None)
+            else:
+                self.model[handle] = level
+
+    @rule(es=small_labels, ds=small_labels)
+    def apply_effects(self, es, ds):
+        self.label = labelops.apply_send_effects(
+            self.label,
+            ChunkedLabel.from_label(es),
+            ChunkedLabel.from_label(ds),
+            OpStats(),
+        )
+        want = labelops.apply_send_effects_reference(self._model_label(), es, ds)
+        self.default = want.default
+        self.model = dict(want.entries())
+
+    @rule(dr=small_labels)
+    def raise_label(self, dr):
+        self.label = labelops.raise_receive(
+            self.label, ChunkedLabel.from_label(dr), OpStats()
+        )
+        want = self._model_label() | dr
+        self.default = want.default
+        self.model = dict(want.entries())
+
+    @invariant()
+    def matches_model(self):
+        assert self.label.to_label() == self._model_label()
+
+    @invariant()
+    def chunks_are_sorted_and_bounded(self):
+        previous = -1
+        for chunk in self.label.chunks:
+            assert 0 < len(chunk.entries) <= CHUNK_CAPACITY
+            for handle, level in chunk.entries:
+                assert handle > previous
+                previous = handle
+                assert level != self.label.default  # normalised
+
+    @invariant()
+    def hints_are_correct(self):
+        levels_present = [lvl for _, lvl in self.label.iter_entries()]
+        if levels_present:
+            assert self.label.explicit_min == min(levels_present)
+            assert self.label.explicit_max == max(levels_present)
+        assert self.label.min_level == min(levels_present + [self.label.default])
+
+    @invariant()
+    def nonstar_view_is_consistent(self):
+        want = tuple(
+            (h, lvl) for h, lvl in self.label.iter_entries() if lvl != STAR
+        )
+        assert self.label.nonstar_entries() == want
+
+
+TestLabelLifecycle = LabelLifecycle.TestCase
+TestLabelLifecycle.settings = settings(max_examples=60, stateful_step_count=40)

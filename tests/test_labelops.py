@@ -1,0 +1,120 @@
+"""Property tests: the fused kernel label operations are exactly
+equivalent to the naive Figure 4 reference semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import labelops as lo
+from repro.core.chunks import ChunkedLabel, OpStats
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS, L1, L2, L3, STAR
+
+levels = st.sampled_from(ALL_LEVELS)
+labels = st.builds(
+    Label,
+    st.dictionaries(st.integers(min_value=0, max_value=80), levels, max_size=25),
+    default=levels,
+)
+
+
+def _c(label: Label) -> ChunkedLabel:
+    return ChunkedLabel.from_label(label)
+
+
+@given(labels, labels, labels, labels, labels)
+@settings(max_examples=300)
+def test_check_send_matches_reference(es, qr, dr, v, pr):
+    got = lo.check_send(_c(es), _c(qr), _c(dr), _c(v), _c(pr), OpStats())
+    assert got == lo.check_send_reference(es, qr, dr, v, pr)
+
+
+@given(labels, labels, labels)
+@settings(max_examples=300)
+def test_apply_send_effects_matches_reference(qs, es, ds):
+    got = lo.apply_send_effects(_c(qs), _c(es), _c(ds), OpStats()).to_label()
+    assert got == lo.apply_send_effects_reference(qs, es, ds)
+
+
+@given(labels, labels)
+@settings(max_examples=300)
+def test_raise_receive_matches_reference(qr, dr):
+    got = lo.raise_receive(_c(qr), _c(dr), OpStats()).to_label()
+    assert got == (qr | dr)
+
+
+@given(labels, st.dictionaries(st.integers(min_value=0, max_value=80), levels, max_size=8))
+@settings(max_examples=300)
+def test_sparse_update_matches_pointwise(label, updates):
+    got = lo.sparse_update(_c(label), updates, OpStats()).to_label()
+    want = label
+    for handle, level in updates.items():
+        want = want.with_entry(handle, level)
+    assert got == want
+
+
+@given(labels, labels, labels)
+def test_effects_never_change_star_entries(qs, es, ds):
+    # A receiver's * entries are immune to contamination; they change only
+    # if DS (a grant) explicitly mentions them — and grants only *lower*,
+    # and nothing is below *.
+    got = lo.apply_send_effects(_c(qs), _c(es), _c(ds)).to_label()
+    for handle in dict(qs.entries()):
+        if qs(handle) == STAR:
+            assert got(handle) == STAR
+
+
+@given(labels, labels)
+def test_contamination_only_raises(qs, es):
+    # With no decontamination (DS = {3}), the send label can only rise.
+    got = lo.apply_send_effects(_c(qs), _c(es), _c(Label.top())).to_label()
+    assert qs <= got
+
+
+@given(labels, labels)
+def test_decontamination_only_lowers_toward_ds(qs, ds):
+    # With no contamination (ES = {*}), the result is QS ⊓ DS.
+    got = lo.apply_send_effects(_c(qs), _c(Label.bottom()), _c(ds)).to_label()
+    assert got == (qs & ds)
+
+
+# -- the modelled 2005 cost functions ---------------------------------------------------
+
+
+def test_paper_cost_scales_with_big_receiver():
+    big_qs = _c(Label({i: STAR for i in range(1, 2001)}, L1))
+    small_es = _c(Label({5000: L3}, L1))
+    ds = _c(Label.top())
+    cost = lo.paper_cost_apply_effects(big_qs, small_es, ds)
+    # The stars-only projection alone scans all 2000 entries.
+    assert cost >= 2000
+
+
+def test_paper_cost_no_stars_is_cheap():
+    qs = _c(Label({i: L2 for i in range(1, 2001)}, L1))
+    es = _c(Label({5000: L2}, L1))
+    ds = _c(Label.top())
+    # QS* = {3}: ES ⊓ {3} short-circuits, QS ⊓ {3} short-circuits, and the
+    # final ⊔ must still merge — cost is one merge, not three.
+    cost = lo.paper_cost_apply_effects(qs, es, ds)
+    assert cost <= 2001 + 10
+
+
+def test_paper_cost_check_skips_dominated_rhs():
+    es = _c(Label({}, L1))
+    qr = _c(Label({i: L3 for i in range(1, 1001)}, L2))
+    dr = _c(Label.bottom())
+    v = _c(Label.top())
+    pr = _c(Label.top())
+    # QR ⊔ {*} short-circuits; ⊓ {3} twice short-circuits; ES ⊑ rhs skips
+    # the rhs scan because ES's default (1) is below the rhs minimum (2).
+    assert lo.paper_cost_check_send(es, qr, dr, v, pr) == 0
+
+
+def test_paper_cost_check_scans_when_port_label_restricts():
+    es = _c(Label({}, L1))
+    qr = _c(Label({i: L3 for i in range(1, 1001)}, L2))
+    dr = _c(Label.bottom())
+    v = _c(Label.top())
+    # A port label that interleaves with QR's levels (neither operand
+    # dominates): the modelled implementation must do the full merge.
+    pr = _c(Label({77: 0}, L3))
+    assert lo.paper_cost_check_send(es, qr, dr, v, pr) >= 1000

@@ -1,0 +1,194 @@
+"""Unit and property tests for the Label lattice (paper Sections 5.1–5.3,
+Figure 3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS, L0, L1, L2, L3, STAR
+
+from tests.conftest import random_label
+
+levels = st.sampled_from(ALL_LEVELS)
+handles = st.integers(min_value=0, max_value=60)
+labels = st.builds(
+    Label,
+    st.dictionaries(handles, levels, max_size=12),
+    default=levels,
+)
+
+
+# -- basics ---------------------------------------------------------------------
+
+
+def test_label_as_function():
+    lab = Label({5: L3, 7: STAR}, default=L1)
+    assert lab(5) == L3
+    assert lab(7) == STAR
+    assert lab(12345) == L1
+
+
+def test_normalisation_drops_default_entries():
+    assert Label({5: L1}, default=L1) == Label({}, default=L1)
+    assert len(Label({5: L1, 6: L2}, default=L1)) == 1
+
+
+def test_equality_and_hash_are_semantic():
+    a = Label({5: L3, 9: L1}, default=L1)
+    b = Label({5: L3}, default=L1)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_paper_figure_2_labels():
+    # US = {uT 3, 1}; UTR = {uT 3, 2}; VS = {vT 3, 1}.
+    uT, vT = 1, 2
+    US = Label({uT: L3}, L1)
+    VS = Label({vT: L3}, L1)
+    UTR = Label({uT: L3}, L2)
+    assert US <= UTR            # U can send to the terminal
+    assert not VS <= UTR        # V cannot
+
+
+def test_rejects_bad_levels_and_handles():
+    with pytest.raises(ValueError):
+        Label({1: 9}, default=L1)
+    with pytest.raises(ValueError):
+        Label({}, default=7)
+    with pytest.raises(ValueError):
+        Label({-1: L1}, default=L1)
+    with pytest.raises(ValueError):
+        Label({1 << 61: L1}, default=L1)
+
+
+def test_constructors():
+    assert Label.send_default().default == L1
+    assert Label.receive_default().default == L2
+    assert Label.bottom().default == STAR
+    assert Label.top().default == L3
+
+
+def test_with_entry_and_without():
+    lab = Label({}, L1).with_entry(9, STAR)
+    assert lab(9) == STAR
+    assert lab.controls(9)
+    assert not lab.without(9).controls(9)
+    assert lab.without(9) == Label({}, L1)
+
+
+def test_word_encoding_roundtrip():
+    lab = Label({5: STAR, 9: L3, 100: L0}, default=L2)
+    assert Label.from_words(lab.to_words()) == lab
+
+
+def test_word_encoding_empty():
+    with pytest.raises(ValueError):
+        Label.from_words([])
+
+
+def test_format_with_names():
+    uT = 42
+    lab = Label({uT: L3}, L1)
+    assert lab.format({uT: "uT"}) == "{uT 3, 1}"
+
+
+# -- lattice laws (property-based) ----------------------------------------------------
+
+
+@given(labels, labels)
+def test_lub_is_least_upper_bound(a, b):
+    join = a | b
+    assert a <= join and b <= join
+
+
+@given(labels, labels, labels)
+def test_lub_minimality(a, b, c):
+    if a <= c and b <= c:
+        assert (a | b) <= c
+
+
+@given(labels, labels)
+def test_glb_is_greatest_lower_bound(a, b):
+    meet = a & b
+    assert meet <= a and meet <= b
+
+
+@given(labels, labels, labels)
+def test_glb_maximality(a, b, c):
+    if c <= a and c <= b:
+        assert c <= (a & b)
+
+
+@given(labels, labels)
+def test_partial_order_antisymmetry(a, b):
+    if a <= b and b <= a:
+        assert a == b
+
+
+@given(labels, labels, labels)
+def test_partial_order_transitivity(a, b, c):
+    if a <= b and b <= c:
+        assert a <= c
+
+
+@given(labels)
+def test_partial_order_reflexive(a):
+    assert a <= a
+
+
+@given(labels, labels)
+def test_lub_glb_commutative(a, b):
+    assert a | b == b | a
+    assert a & b == b & a
+
+
+@given(labels, labels, labels)
+def test_lub_glb_associative(a, b, c):
+    assert (a | b) | c == a | (b | c)
+    assert (a & b) & c == a & (b & c)
+
+
+@given(labels, labels)
+def test_absorption(a, b):
+    assert a | (a & b) == a
+    assert a & (a | b) == a
+
+
+@given(labels)
+def test_bottom_and_top_are_identities(a):
+    assert a | Label.bottom() == a
+    assert a & Label.top() == a
+
+
+@given(labels)
+def test_stars_definition(a):
+    # L*(h) = * if L(h) = *, else 3 — checked pointwise over a window that
+    # includes both explicit handles and unmentioned ones.
+    s = a.stars()
+    for h in list(dict(a.entries())) + [59, 60]:
+        if a(h) == STAR:
+            assert s(h) == STAR
+        else:
+            assert s(h) == L3
+
+
+@given(labels)
+def test_stars_idempotent(a):
+    assert a.stars().stars() == a.stars()
+
+
+@given(labels, labels)
+def test_contamination_preserves_stars(qs, es):
+    # Equation 5's purpose: QS's * entries survive contamination.
+    result = qs | (es & qs.stars())
+    for h in list(dict(qs.entries())):
+        if qs(h) == STAR:
+            assert result(h) == STAR
+
+
+def test_comparison_with_non_label():
+    lab = Label({}, L1)
+    assert lab.__le__(42) is NotImplemented
+    assert lab != 42

@@ -1,0 +1,226 @@
+"""Unit and property tests for the page-granular COW memory subsystem
+(paper Section 6.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.errors import InvalidArgument, ResourceExhausted
+from repro.kernel.memory import (
+    AddressSpace,
+    DEFAULT_RAM_BYTES,
+    EpView,
+    PAGE_SIZE,
+    PageAccountant,
+    pages_for,
+)
+
+
+@pytest.fixture
+def accountant():
+    return PageAccountant()
+
+
+@pytest.fixture
+def space(accountant):
+    return AddressSpace(accountant)
+
+
+def test_pages_for():
+    assert pages_for(1) == 1
+    assert pages_for(PAGE_SIZE) == 1
+    assert pages_for(PAGE_SIZE + 1) == 2
+    assert pages_for(0) == 1
+
+
+def test_alloc_read_write(space):
+    start = space.alloc(100, "buf")
+    space.write(start, b"hello")
+    assert space.read(start, 5) == b"hello"
+    assert space.read(start + 5, 3) == b"\x00\x00\x00"
+
+
+def test_alloc_is_page_aligned_and_accounted(space, accountant):
+    before = accountant.in_use
+    space.alloc(PAGE_SIZE * 2 + 1, "big")
+    assert accountant.in_use == before + 3
+
+
+def test_write_across_page_boundary(space):
+    start = space.alloc(PAGE_SIZE * 2, "span")
+    data = bytes(range(200)) * 30  # 6000 bytes, crosses the boundary
+    space.write(start + 100, data)
+    assert space.read(start + 100, len(data)) == data
+
+
+def test_unmapped_access_rejected(space):
+    space.alloc(100, "buf")
+    with pytest.raises(InvalidArgument):
+        space.read(10 * PAGE_SIZE + 5, 4)
+    with pytest.raises(InvalidArgument):
+        space.write(10 * PAGE_SIZE, b"x")
+
+
+def test_free_releases_pages(space, accountant):
+    space.alloc(PAGE_SIZE * 4, "tmp")
+    used = accountant.in_use
+    space.free("tmp")
+    assert accountant.in_use == used - 4
+    with pytest.raises(InvalidArgument):
+        space.free("tmp")
+
+
+def test_duplicate_region_rejected(space):
+    space.alloc(10, "x")
+    with pytest.raises(InvalidArgument):
+        space.alloc(10, "x")
+
+
+def test_object_store_roundtrip(space):
+    space.store("session", {"user": "alice", "hits": 3})
+    assert space.load("session") == {"user": "alice", "hits": 3}
+    assert space.has("session")
+    space.delete("session")
+    assert not space.has("session")
+
+
+def test_object_store_replaces_in_place_when_it_fits(space, accountant):
+    space.store("k", b"small")
+    used = accountant.in_use
+    space.store("k", b"tiny")
+    assert accountant.in_use == used  # reused the region
+    assert space.load("k") == b"tiny"
+
+
+def test_ram_budget_enforced():
+    accountant = PageAccountant(capacity_pages=4)
+    space = AddressSpace(accountant)
+    space.alloc(PAGE_SIZE * 3, "a")
+    with pytest.raises(ResourceExhausted):
+        space.alloc(PAGE_SIZE * 2, "b")
+
+
+def test_default_ram_is_256mb():
+    # The prototype "currently only uses 256MB of RAM" (Section 9).
+    assert DEFAULT_RAM_BYTES == 256 * 1024 * 1024
+
+
+# -- event-process views -------------------------------------------------------------
+
+
+@pytest.fixture
+def base_and_view(accountant):
+    base = AddressSpace(accountant)
+    start = base.alloc(PAGE_SIZE * 2, "shared")
+    base.write(start, b"base-data")
+    view = EpView(base, accountant)
+    return base, view, start
+
+
+def test_reads_fall_through(base_and_view):
+    base, view, start = base_and_view
+    assert view.read(start, 9) == b"base-data"
+
+
+def test_write_copies_page_not_base(base_and_view, accountant):
+    base, view, start = base_and_view
+    before = accountant.in_use
+    view.write(start, b"EP-data!!")
+    assert view.read(start, 9) == b"EP-data!!"
+    assert base.read(start, 9) == b"base-data"       # base untouched
+    assert accountant.in_use == before + 1           # one COW page
+    assert view.private_page_count == 1
+
+
+def test_second_write_to_same_page_is_free(base_and_view, accountant):
+    base, view, start = base_and_view
+    view.write(start, b"x")
+    used = accountant.in_use
+    view.write(start + 1, b"y")
+    assert accountant.in_use == used
+
+
+def test_clean_reverts_to_base(base_and_view, accountant):
+    base, view, start = base_and_view
+    view.write(start, b"EP-data!!")
+    dropped = view.clean(start, 1)
+    assert dropped == 1
+    assert view.read(start, 9) == b"base-data"
+    assert view.private_page_count == 0
+
+
+def test_clean_region_and_clean_all_except(base_and_view):
+    base, view, start = base_and_view
+    view.write(start, b"dirty")
+    view.alloc(PAGE_SIZE, "session")
+    view.write(view.region("session").start, b"keep-me")
+    view.alloc(PAGE_SIZE * 2, "scratch")
+    view.write(view.region("scratch").start, b"temp")
+    dropped = view.clean_all_except(("session",))
+    assert dropped >= 2
+    assert view.read(view.region("session").start, 7) == b"keep-me"
+    assert view.region("scratch") is None
+    assert view.read(start, 4) == b"base"
+
+
+def test_ep_private_alloc_invisible_to_base(base_and_view):
+    base, view, start = base_and_view
+    addr = view.alloc(100, "own")
+    view.write(addr, b"private")
+    assert base.region("own") is None
+    with pytest.raises(InvalidArgument):
+        base.read(addr, 4)
+
+
+def test_two_views_are_isolated(accountant):
+    base = AddressSpace(accountant)
+    start = base.alloc(PAGE_SIZE, "shared")
+    base.write(start, b"base")
+    view1 = EpView(base, accountant)
+    view2 = EpView(base, accountant)
+    view1.write(start, b"one!")
+    view2.write(start, b"two!")
+    assert view1.read(start, 4) == b"one!"
+    assert view2.read(start, 4) == b"two!"
+    # Private allocations may reuse the same addresses in different views.
+    a1 = view1.alloc(10, "x")
+    a2 = view2.alloc(10, "x")
+    assert a1 == a2
+    view1.write(a1, b"1")
+    view2.write(a2, b"2")
+    assert view1.read(a1, 1) == b"1"
+    assert view2.read(a2, 1) == b"2"
+
+
+def test_release_all(base_and_view, accountant):
+    base, view, start = base_and_view
+    view.write(start, b"x")
+    view.alloc(PAGE_SIZE, "own")
+    used_before_release = accountant.in_use
+    view.release_all()
+    assert view.private_page_count == 0
+    assert accountant.in_use == used_before_release - 2
+
+
+def test_ep_free_of_base_region_hides_it(base_and_view):
+    base, view, start = base_and_view
+    view.write(start, b"x")
+    view.free("shared")
+    assert view.region("shared") is None
+    assert base.region("shared") is not None
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.binary(min_size=1, max_size=64)), max_size=40))
+def test_cow_view_matches_shadow_model(writes):
+    """Property: an EpView behaves exactly like a plain byte-array copy."""
+    accountant = PageAccountant()
+    base = AddressSpace(accountant)
+    start = base.alloc(PAGE_SIZE * 8, "arena")
+    base.write(start, b"\xaa" * (PAGE_SIZE * 8))
+    view = EpView(base, accountant)
+    shadow = bytearray(b"\xaa" * (PAGE_SIZE * 8))
+    for page, data in writes:
+        offset = page * PAGE_SIZE
+        view.write(start + offset, data)
+        shadow[offset : offset + len(data)] = data
+    assert view.read(start, PAGE_SIZE * 8) == bytes(shadow)
+    assert base.read(start, PAGE_SIZE * 8) == b"\xaa" * (PAGE_SIZE * 8)

@@ -1,0 +1,177 @@
+"""Integration: the full OKWS message flow of Figure 5, sessions
+(Section 7.3), database policies (Section 7.5), and decentralized
+declassification (Section 7.6)."""
+
+import pytest
+
+from repro.core.levels import L3, STAR
+from repro.okws import ServiceConfig, launch
+from repro.okws.services import (
+    echo_handler,
+    notes_handler,
+    profile_declassifier_handler,
+    profile_handler,
+    session_cache_handler,
+)
+from repro.sim.workload import HttpClient
+
+
+@pytest.fixture(scope="module")
+def site():
+    return launch(
+        services=[
+            ServiceConfig("cache", session_cache_handler),
+            ServiceConfig("echo", echo_handler),
+            ServiceConfig("notes", notes_handler),
+            ServiceConfig("profile", profile_handler),
+            ServiceConfig("publish", profile_declassifier_handler, declassifier=True),
+        ],
+        users=[("alice", "pw-a"), ("bob", "pw-b"), ("carol", "pw-c")],
+        schema=[
+            "CREATE TABLE notes (author TEXT, text TEXT)",
+            "CREATE TABLE profiles (owner TEXT, bio TEXT)",
+        ],
+    )
+
+
+@pytest.fixture(scope="module")
+def client(site):
+    return HttpClient(site)
+
+
+def test_basic_request(site, client):
+    r = client.request("alice", "pw-a", "echo", args={"length": 11})
+    assert r.ok
+    assert r.body == "x" * 11
+    assert r.payload["headers"].startswith("HTTP/1.0 200 OK")
+
+
+def test_response_size_matches_paper(site, client):
+    # Section 9.2.1: 144 bytes of HTTP data, 133 bytes of headers.
+    r = client.request("alice", "pw-a", "echo", args={"length": 11})
+    assert len(r.payload["headers"]) == 133
+    assert len(r.payload["headers"]) + len(r.body) == 144
+
+
+def test_bad_password_rejected(site, client):
+    r = client.request("alice", "WRONG", "echo")
+    assert not r.ok
+    assert r.payload["status"] == 403
+
+
+def test_unknown_user_rejected(site, client):
+    r = client.request("mallory", "x", "echo")
+    assert r.payload["status"] == 403
+
+
+def test_unknown_service_404(site, client):
+    r = client.request("alice", "pw-a", "no-such-service")
+    assert r.payload["status"] == 404
+
+
+def test_sessions_persist_state(site, client):
+    r1 = client.request("alice", "pw-a", "cache", body=b"first-visit")
+    r2 = client.request("alice", "pw-a", "cache", body=b"second-visit")
+    assert r2.body.startswith(b"first-visit")
+    assert r2.payload["hits"] == r1.payload["hits"] + 1
+
+
+def test_sessions_are_per_user(site, client):
+    ra = client.request("alice", "pw-a", "cache", body=b"A")
+    rb = client.request("bob", "pw-b", "cache", body=b"B")
+    # bob's first visit has its own hit counter and sees no alice data.
+    assert rb.payload["hits"] == 1
+    assert rb.payload["user"] == "bob"
+
+
+def test_sessions_are_per_service_too(site, client):
+    before = client.request("alice", "pw-a", "cache", body=b"x").payload["hits"]
+    client.request("alice", "pw-a", "echo")
+    after = client.request("alice", "pw-a", "cache", body=b"y").payload["hits"]
+    assert after == before + 1
+
+
+def test_one_event_process_per_session(site, client):
+    workers = {
+        p.name: p for p in site.kernel.processes.values() if p.name.startswith("worker-")
+    }
+    cache_worker = workers["worker-cache"]
+    # alice and bob both have cache sessions from the tests above.
+    assert len(cache_worker.event_processes) >= 2
+
+
+def test_db_notes_are_isolated_by_kernel(site, client):
+    client.request("alice", "pw-a", "notes", body="alice-private", args={"op": "add"})
+    client.request("bob", "pw-b", "notes", body="bob-private", args={"op": "add"})
+    alice_sees = client.request("alice", "pw-a", "notes", args={"op": "list"}).body
+    bob_sees = client.request("bob", "pw-b", "notes", args={"op": "list"}).body
+    assert "alice-private" in alice_sees and "bob-private" not in alice_sees
+    assert "bob-private" in bob_sees and "alice-private" not in bob_sees
+
+
+def test_foreign_rows_dropped_by_label_check_not_filtering(site, client):
+    # The isolation above is kernel enforcement: the dropped ROW_R
+    # messages appear in the (out-of-band) drop log.
+    before = site.kernel.drop_log.count("label-check")
+    client.request("alice", "pw-a", "notes", args={"op": "list"})
+    assert site.kernel.drop_log.count("label-check") > before
+
+
+def test_declassification_flow(site, client):
+    client.request("alice", "pw-a", "profile", body="alice's bio", args={"op": "set"})
+    # Private: bob sees nothing.
+    assert client.request("bob", "pw-b", "profile", args={"op": "get"}).body == {}
+    # Alice runs the declassifier on her own data.
+    r = client.request("alice", "pw-a", "publish")
+    assert "declassified" in r.body
+    # Public: everyone sees it now.
+    assert (
+        client.request("bob", "pw-b", "profile", args={"op": "get"}).body
+        == {"alice": "alice's bio"}
+    )
+
+
+def test_declassifier_only_declassifies_its_own_user(site, client):
+    client.request("carol", "pw-c", "profile", body="carol-private", args={"op": "set"})
+    # Bob runs the declassifier: it holds ⋆ only for *bob's* taint, so
+    # carol's profile stays private.
+    client.request("bob", "pw-b", "publish")
+    visible = client.request("alice", "pw-a", "profile", args={"op": "get"}).body
+    assert "carol" not in visible
+
+
+def test_workers_and_declassifier_labels(site, client):
+    # A regular worker's EP carries uT 3; the declassifier's carries uT ⋆.
+    workers = {p.name: p for p in site.kernel.processes.values()}
+    notes_eps = list(workers["worker-notes"].event_processes.values())
+    publish_eps = list(workers["worker-publish"].event_processes.values())
+    assert notes_eps and publish_eps
+    assert any(
+        lvl == L3 for ep in notes_eps for _, lvl in ep.send_label.iter_entries()
+    )
+    assert all(
+        all(lvl == STAR for _, lvl in ep.send_label.iter_entries())
+        for ep in publish_eps
+    )
+
+
+def test_trusted_processes_hold_stars_not_taint(site, client):
+    # netd, idd, ok-dbproxy, ok-demux accumulate ⋆ per user but no taint
+    # (Section 7.2: "any process that accesses u's data either is trusted
+    # and has uT ⋆ ... or is not trusted and has uT 3").
+    for name in ("netd", "idd", "ok-dbproxy", "ok-demux"):
+        proc = next(p for p in site.kernel.processes.values() if p.name == name)
+        levels = {lvl for _, lvl in proc.send_label.iter_entries()}
+        assert levels <= {STAR}, f"{name} carries taint: {levels}"
+
+
+def test_batch_concurrent_requests(site, client):
+    responses = client.run_batch(
+        [("alice", "pw-a", "echo", None, {"length": 5}) for _ in range(20)]
+        + [("bob", "pw-b", "echo", None, {"length": 7}) for _ in range(20)],
+        concurrency=16,
+    )
+    assert len(responses) == 40
+    bodies = {r.body for r in responses}
+    assert bodies == {"x" * 5, "x" * 7}
+    assert all(r.latency_cycles > 0 for r in responses)

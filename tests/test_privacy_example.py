@@ -1,0 +1,139 @@
+"""The Figure 2 / Section 5.2 worked example, end to end: users u and v,
+shells, a terminal, and the trusted file server."""
+
+import pytest
+
+from repro.core.labels import Label
+from repro.core.levels import L1, L2, L3, STAR
+from repro.ipc import protocol as P
+from repro.ipc.rpc import Channel
+from repro.kernel import (
+    GetLabels,
+    Kernel,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
+from repro.servers.fileserver import file_server_body
+
+
+@pytest.fixture
+def world(kernel):
+    """Figure 2's processes: FS (trusted), shells U and V, terminal UT."""
+    fs = kernel.spawn(file_server_body, "fs")
+    kernel.run()
+    state = {"fs_port": fs.env["fs_port"], "kernel": kernel, "terminal": []}
+
+    def terminal(ctx):
+        # User u's terminal: receives output, labelled like U.
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        ctx.env["port"] = port
+        setup = yield Recv(port=port)  # clearance from the manager
+        while True:
+            msg = yield Recv(port=port)
+            state["terminal"].append(msg.payload)
+
+    def shell(ctx):
+        chan = yield from Channel.open()
+        yield Send(ctx.env["mgr"], {"who": ctx.env["who"], "port": chan.port})
+        setup = yield Recv(port=chan.port)
+        # Read u's file and try to print it on u's terminal.
+        r = yield from chan.call(state["fs_port"], P.request(P.READ, path="/u/secret"))
+        yield Send(setup.payload["terminal"], {"from": ctx.env["who"], "data": r.payload["data"]})
+        send, _ = yield GetLabels()
+        state.setdefault("done", {})[ctx.env["who"]] = send
+        # Stay alive so the test can inspect us.
+        yield Recv(port=chan.port)
+
+    def manager(ctx):
+        uT = yield NewHandle()
+        vT = yield NewHandle()
+        state["uT"], state["vT"] = uT, vT
+        mgr_port = yield NewPort()
+        yield SetPortLabel(mgr_port, Label.top())
+        chan = yield from Channel.open()
+        # The file server is trusted with both users' compartments.
+        yield from chan.call(
+            state["fs_port"],
+            P.request(P.CREATE, path="/u/secret", taint=uT, data=b"u-private-data"),
+            decontaminate_send=Label({uT: STAR}, L3),
+        )
+        # Terminal UT: labelled like U — US = {uT 3, 1}, UR = {uT 3, 2}.
+        yield Spawn(terminal, name="UT", env={})
+        # The terminal announces nothing; configure via direct knowledge:
+        # instead, spawn and configure through its announced port:
+        # (simpler: shells announce; terminal's port reaches us via env)
+        # -- create shells --
+        yield Spawn(shell, name="U", env={"mgr": mgr_port, "who": "U"})
+        yield Spawn(shell, name="V", env={"mgr": mgr_port, "who": "V"})
+        hellos = {}
+        for _ in range(2):
+            msg = yield Recv(port=mgr_port)
+            hellos[msg.payload["who"]] = msg.payload["port"]
+        state["hellos"] = hellos
+        ctx.env["mgr_port"] = mgr_port
+
+    proc = kernel.spawn(manager, "manager")
+    kernel.run()
+    state["manager"] = proc
+    return state
+
+
+def test_figure_2_labels_and_flows(world):
+    kernel = world["kernel"]
+    uT, vT = world["uT"], world["vT"]
+    terminal_proc = next(p for p in kernel.processes.values() if p.name == "UT")
+    terminal_port = None
+    # The terminal is blocked on its setup Recv; fish its port out of the
+    # kernel (the manager would have learned it via a handshake IRL).
+    terminal_port = sorted(terminal_proc.owned_ports)[0]
+
+    def finish_setup(ctx):
+        # Configure the terminal like U: contaminate uT 3, clear uT 3.
+        yield Send(
+            terminal_port,
+            {"setup": True},
+            contaminate=Label({uT: L3}, STAR),
+            decontaminate_receive=Label({uT: L3}, STAR),
+        )
+        # Configure shell U: taint uT, clearance uT.
+        yield Send(
+            world["hellos"]["U"],
+            {"terminal": terminal_port},
+            contaminate=Label({uT: L3}, STAR),
+            decontaminate_receive=Label({uT: L3}, STAR),
+        )
+        # Configure shell V: taint vT, clearance vT — no access to uT.
+        yield Send(
+            world["hellos"]["V"],
+            {"terminal": terminal_port},
+            contaminate=Label({vT: L3}, STAR),
+            decontaminate_receive=Label({vT: L3}, STAR),
+        )
+
+    # The configurer must control both compartments: run it as a child of
+    # the manager?  The manager created the handles; spawn inheriting them.
+    kernel.spawn(finish_setup, "configurer", parent=world["manager"], inherit_labels=True)
+    kernel.run()
+
+    # U's shell read u's file and printed it on u's terminal.
+    assert world["terminal"] == [{"from": "U", "data": b"u-private-data"}]
+
+    # V's shell never got the file: its READ_R was dropped, so it is still
+    # blocked in its call and never recorded completion.
+    assert "U" in world.get("done", {})
+    assert "V" not in world.get("done", {})
+    v_shell = next(p for p in kernel.processes.values() if p.name == "V")
+
+    # Label state matches Figure 2: US = {uT 3, 1} (plus its ports' ⋆),
+    # VS = {vT 3, 1}, UTR = {uT 3, 2}.
+    u_send = world["done"]["U"]
+    assert u_send(uT) == L3
+    assert v_shell.send_label(vT) == L3
+    assert terminal_proc.receive_label(uT) == L3
+    assert terminal_proc.receive_label(vT) == L2   # default: vT refused
+    assert kernel.drop_log.count("label-check") >= 1

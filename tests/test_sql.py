@@ -1,0 +1,85 @@
+"""Unit tests for the SQL subset parser."""
+
+import pytest
+
+from repro.db import sql as S
+
+
+def test_create_table():
+    ast = S.parse("CREATE TABLE users (uid INTEGER, name TEXT, blob BLOB)")
+    assert ast == S.CreateTable(
+        "users", (("uid", "INTEGER"), ("name", "TEXT"), ("blob", "BLOB"))
+    )
+
+
+def test_insert_with_placeholders():
+    ast = S.parse("INSERT INTO t (a, b) VALUES (?, ?)")
+    assert isinstance(ast, S.Insert)
+    assert ast.values == (S.Placeholder(0), S.Placeholder(1))
+
+
+def test_insert_with_literals():
+    ast = S.parse("INSERT INTO t (a, b) VALUES (7, 'it''s')")
+    assert ast.values == (7, "it's")
+
+
+def test_select_star():
+    ast = S.parse("SELECT * FROM t")
+    assert ast == S.Select("t", ("*",), ())
+
+
+def test_select_where_and():
+    ast = S.parse("SELECT uid FROM users WHERE name = ? AND password = ?")
+    assert ast.columns == ("uid",)
+    assert ast.where == (
+        S.Condition("name", S.Placeholder(0)),
+        S.Condition("password", S.Placeholder(1)),
+    )
+
+
+def test_update():
+    ast = S.parse("UPDATE t SET a = ?, b = 3 WHERE c = 'x'")
+    assert ast == S.Update(
+        "t",
+        (("a", S.Placeholder(0)), ("b", 3)),
+        (S.Condition("c", "x"),),
+    )
+
+
+def test_delete():
+    ast = S.parse("DELETE FROM t WHERE a = 1")
+    assert ast == S.Delete("t", (S.Condition("a", 1),))
+
+
+def test_delete_without_where():
+    assert S.parse("DELETE FROM t") == S.Delete("t", ())
+
+
+def test_keywords_case_insensitive():
+    ast = S.parse("select a from t where b = 1")
+    assert isinstance(ast, S.Select)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "DROP TABLE t",
+        "SELECT FROM t",
+        "INSERT INTO t (a) VALUES (1, 2)",
+        "CREATE TABLE t (a FANCYTYPE)",
+        "SELECT a FROM t WHERE b > 1",
+        "SELECT a FROM t extra garbage",
+        "INSERT INTO t (a) VALUES (@)",
+    ],
+)
+def test_rejects_malformed(bad):
+    with pytest.raises(S.SqlError):
+        S.parse(bad)
+
+
+def test_placeholder_numbering_left_to_right():
+    ast = S.parse("UPDATE t SET a = ? WHERE b = ? AND c = ?")
+    assert ast.assignments[0][1] == S.Placeholder(0)
+    assert ast.where[0].value == S.Placeholder(1)
+    assert ast.where[1].value == S.Placeholder(2)
