@@ -26,7 +26,6 @@ from repro.kernel import (
     Recv,
     Send,
     SetPortLabel,
-    Spawn,
 )
 
 
@@ -69,7 +68,8 @@ def main() -> None:
         # Phase 2: it opens the malicious attachment and picks up taint.
         evil = yield NewHandle()
         yield ChangeLabel(send=Label({evil: STAR}, L1).with_entry(evil, L3))
-        # Phase 3: tries to keep talking (exfiltrate into the reader).
+        # Phase 3: tries to keep talking (exfiltrate into the reader) —
+        # the attack this example exists to stop.  # asblint: ignore[ASB002]
         yield Send(reader.env["attachment_port"], {"from": "viewer", "status": "pwned :)"})
 
     kernel.spawn(filesystem, "filesystem")

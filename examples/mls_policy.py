@@ -12,16 +12,7 @@ Run:  python examples/mls_policy.py
 
 from repro.core.labels import Label
 from repro.core.levels import L3, STAR
-from repro.kernel import (
-    ChangeLabel,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-    Spawn,
-)
+from repro.kernel import Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
 from repro.policies.mls import MlsPolicy
 
 

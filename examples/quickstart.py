@@ -14,16 +14,7 @@ Run:  python examples/quickstart.py
 
 from repro.core.labels import Label
 from repro.core.levels import L1, L2, L3, STAR
-from repro.kernel import (
-    GetLabels,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-    Spawn,
-)
+from repro.kernel import GetLabels, Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel
 
 
 def main() -> None:

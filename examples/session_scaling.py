@@ -9,8 +9,6 @@ component (Figure 9).  The full-scale versions live in benchmarks/.
 Run:  python examples/session_scaling.py
 """
 
-from repro.kernel.clock import CPU_HZ
-from repro.kernel.memory import PAGE_SIZE
 from repro.sim.runner import (
     run_memory_experiment,
     run_session_sweep,

@@ -1,0 +1,61 @@
+"""Static and dynamic correctness tooling for the label system.
+
+Two cooperating layers:
+
+- :mod:`repro.analysis.asblint` + :mod:`repro.analysis.astflow`: the
+  **asblint** static pass — abstract interpretation of simulated-program
+  generators over label intervals, reporting provable Figure 4 violations
+  before any code runs;
+- :mod:`repro.analysis.sanitizer`: the **runtime sanitizer** — an opt-in
+  kernel mode differentially checking the fused label fast paths against
+  the naive operators on every IPC.
+
+Both are exposed through ``python -m repro`` (see
+:mod:`repro.analysis.cli`).
+"""
+
+from repro.analysis.asblint import (
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    findings,
+    format_reports,
+    render_json,
+)
+from repro.analysis.intervals import AbstractLabel, AbstractState, Interval
+from repro.analysis.rules import (
+    DECLASSIFY_NO_STAR,
+    Diagnostic,
+    FileReport,
+    HANDLE_LEAK,
+    NEVER_PASS,
+    RULES,
+    Rule,
+    TAINT_CREEP,
+    resolve_rule,
+)
+from repro.analysis.sanitizer import LabelSanitizer, SanitizerViolation, Violation
+
+__all__ = [
+    "AbstractLabel",
+    "AbstractState",
+    "DECLASSIFY_NO_STAR",
+    "Diagnostic",
+    "FileReport",
+    "HANDLE_LEAK",
+    "Interval",
+    "LabelSanitizer",
+    "NEVER_PASS",
+    "RULES",
+    "Rule",
+    "SanitizerViolation",
+    "TAINT_CREEP",
+    "Violation",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "findings",
+    "format_reports",
+    "render_json",
+    "resolve_rule",
+]

@@ -1,0 +1,232 @@
+"""The ``python -m repro`` command line.
+
+Subcommands::
+
+    python -m repro                # the guided tour (default)
+    python -m repro tour
+    python -m repro analyze <paths...> [--json] [--select RULES] [-v]
+    python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
+
+``analyze`` runs the asblint static pass and exits 1 if any finding
+survives the pragma filter.  ``run`` drives the OKWS demo workload on a
+live kernel; with ``--sanitize`` every IPC is differentially checked
+against the naive label operators and the command exits 1 on any
+violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence, Set
+
+
+def _cmd_tour() -> int:
+    from repro.core.labels import Label
+    from repro.core.levels import L1, L2, L3  # noqa: F401  (tour narration)
+    from repro.okws import ServiceConfig, launch
+    from repro.okws.services import notes_handler, session_cache_handler
+    from repro.sim.runner import run_memory_experiment, run_session_sweep
+    from repro.sim.workload import HttpClient
+
+    print("asbestos-repro — Labels and Event Processes (SOSP 2005)")
+    print("=" * 64)
+
+    print("\n[1/3] the label lattice")
+    uT = 0x1001
+    tainted, clearance = Label({uT: L3}, L1), Label({uT: L3}, L2)
+    print(f"   {{uT 3, 1}} ⊑ {{uT 3, 2}} : {tainted <= clearance}")
+    print(
+        f"   {{uT 3, 1}} ⊑ {{2}}       : {tainted <= Label({}, L2)}"
+        "  (default receive refuses full taint)"
+    )
+
+    print("\n[2/3] OKWS: kernel-enforced per-user isolation")
+    site = launch(
+        services=[
+            ServiceConfig("cache", session_cache_handler),
+            ServiceConfig("notes", notes_handler),
+        ],
+        users=[("alice", "pw-a"), ("bob", "pw-b")],
+        schema=["CREATE TABLE notes (author TEXT, text TEXT)"],
+    )
+    client = HttpClient(site)
+    client.request("alice", "pw-a", "notes", body="alice's secret", args={"op": "add"})
+    client.request("bob", "pw-b", "notes", body="bob's secret", args={"op": "add"})
+    a = client.request("alice", "pw-a", "notes", args={"op": "list"}).body
+    b = client.request("bob", "pw-b", "notes", args={"op": "list"}).body
+    print(f"   alice sees {a}; bob sees {b}")
+    print(
+        "   flows silently dropped by the kernel so far: "
+        f"{site.kernel.drop_log.count('label-check')}"
+    )
+
+    print("\n[3/3] the evaluation in one line each")
+    mem = run_memory_experiment([0, 200])
+    slope = (mem[1].total_pages - mem[0].total_pages) / 200
+    print(f"   memory: {slope:.2f} pages per cached session (paper: ~1.5)")
+    point = run_session_sweep([1], min_connections=32)[0]
+    print(
+        f"   throughput: {point.throughput:.0f} conn/s at 1 session "
+        "(paper regime: OKWS ≈ half of Mod-Apache, above Apache)"
+    )
+    print("\nSee examples/ for full walkthroughs and benchmarks/ for the figures.")
+    return 0
+
+
+def _parse_select(spec: Optional[str]) -> Optional[Set[str]]:
+    if not spec:
+        return None
+    from repro.analysis import rules as R
+
+    selected: Set[str] = set()
+    for key in spec.split(","):
+        key = key.strip()
+        if not key:
+            continue
+        rule = R.resolve_rule(key)
+        if rule is None:
+            print(f"repro analyze: unknown rule {key!r}", file=sys.stderr)
+            raise SystemExit(2)
+        selected.add(rule.id)
+    return selected
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import asblint
+    from repro.analysis import rules as R
+
+    if args.list_rules:
+        for rule in R.RULES:
+            print(f"{rule.id}  {rule.name:<20} {rule.summary}")
+        return 0
+    if not args.paths:
+        print("repro analyze: no paths given", file=sys.stderr)
+        return 2
+    try:
+        reports = asblint.analyze_paths(args.paths, _parse_select(args.select))
+    except FileNotFoundError as err:
+        print(f"repro analyze: {err}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(asblint.render_json(reports))
+    else:
+        print(asblint.format_reports(reports, verbose=args.verbose))
+    return 1 if asblint.findings(reports) else 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # The kernel is constructed deep inside okws.launch; the environment
+    # variable is how the sanitizer flag crosses that distance (and how a
+    # whole test suite is swept under the sanitizer, cf. CI).
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
+        os.environ["REPRO_SANITIZE_STRICT"] = "1" if args.strict else "0"
+
+    from repro.analysis.sanitizer import SanitizerViolation
+    from repro.okws import ServiceConfig, launch
+    from repro.okws.services import notes_handler, session_cache_handler
+    from repro.sim.trace import FlowTracer
+    from repro.sim.workload import HttpClient
+
+    try:
+        site = launch(
+            services=[
+                ServiceConfig("cache", session_cache_handler),
+                ServiceConfig("notes", notes_handler),
+            ],
+            users=[("alice", "pw-a"), ("bob", "pw-b")],
+            schema=["CREATE TABLE notes (author TEXT, text TEXT)"],
+        )
+        tracer = FlowTracer(site.kernel) if args.trace else None
+        client = HttpClient(site)
+        client.request("alice", "pw-a", "notes", body="alice note", args={"op": "add"})
+        client.request("bob", "pw-b", "notes", body="bob note", args={"op": "add"})
+        alice = client.request("alice", "pw-a", "notes", args={"op": "list"})
+        bob = client.request("bob", "pw-b", "notes", args={"op": "list"})
+    except SanitizerViolation as violation:
+        print(f"repro run: {violation}", file=sys.stderr)
+        return 1
+    print(f"alice sees {alice.body}; bob sees {bob.body}")
+    print(
+        "kernel drops so far: "
+        f"label-check={site.kernel.drop_log.count('label-check')}"
+    )
+    if tracer is not None:
+        print(tracer.format(last=args.trace_last))
+    sanitizer = site.kernel.sanitizer
+    if sanitizer is not None:
+        print(sanitizer.summary())
+        for violation in sanitizer.violations:
+            print(violation.format())
+        return 1 if sanitizer.violations else 0
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Asbestos labels & event processes reproduction",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("tour", help="the two-minute guided tour (default)")
+
+    analyze = sub.add_parser(
+        "analyze", help="run the asblint static label-flow checker"
+    )
+    analyze.add_argument("paths", nargs="*", help="files or directories to analyze")
+    analyze.add_argument(
+        "--json", action="store_true", help="emit a machine-readable JSON report"
+    )
+    analyze.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    analyze.add_argument(
+        "-v", "--verbose", action="store_true", help="also list analyzed programs"
+    )
+
+    run = sub.add_parser("run", help="run the OKWS demo workload")
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="cross-check every IPC against the naive label operators",
+    )
+    run.add_argument(
+        "--no-strict",
+        dest="strict",
+        action="store_false",
+        help="record sanitizer violations instead of raising on the first",
+    )
+    run.add_argument(
+        "--trace", action="store_true", help="print the label-flow transcript"
+    )
+    run.add_argument(
+        "--trace-last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --trace, only the last N events",
+    )
+    run.set_defaults(strict=True)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args: List[str] = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    namespace = parser.parse_args(args)
+    if namespace.command in (None, "tour"):
+        return _cmd_tour()
+    if namespace.command == "analyze":
+        return _cmd_analyze(namespace)
+    if namespace.command == "run":
+        return _cmd_run(namespace)
+    parser.error(f"unknown command {namespace.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover

@@ -18,7 +18,6 @@ for the calibrated constants.  Wall-clock is virtual (cycles at 2.8 GHz).
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 from typing import List

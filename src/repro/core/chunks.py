@@ -26,7 +26,7 @@ minimum of 32 (44 + 16 + 32*8 = 316 bytes for the smallest label).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.handles import Handle

@@ -22,8 +22,8 @@ paper's unoptimised setup).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
 
 
 class SqlError(Exception):

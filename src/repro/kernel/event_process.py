@@ -23,7 +23,6 @@ process — both faithful to the paper.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.kernel.memory import EpView
 from repro.kernel.process import Process, Task, TaskState

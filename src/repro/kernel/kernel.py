@@ -27,6 +27,7 @@ deliverability earlier, since labels change in the meantime (Section 4).
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.core import labelops
@@ -100,6 +101,8 @@ class Kernel:
         boot_key: bytes = b"asbestos-boot-key",
         trace: bool = False,
         label_cost_mode: str = "paper",
+        sanitize: Optional[bool] = None,
+        sanitize_strict: Optional[bool] = None,
     ):
         if label_cost_mode not in ("paper", "fused"):
             raise ValueError(f"unknown label_cost_mode: {label_cost_mode!r}")
@@ -133,6 +136,21 @@ class Kernel:
         from repro.kernel.vnodes import VnodeTable
 
         self.vnodes = VnodeTable()
+        # Differential label sanitizer (repro.analysis): opt in per kernel
+        # via sanitize=True, or globally via REPRO_SANITIZE=1 (how a whole
+        # test suite is swept without touching call sites).
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false")
+        if sanitize_strict is None:
+            sanitize_strict = os.environ.get("REPRO_SANITIZE_STRICT", "1") not in (
+                "0",
+                "false",
+            )
+        self.sanitizer = None
+        if sanitize:
+            from repro.analysis.sanitizer import LabelSanitizer
+
+            self.sanitizer = LabelSanitizer(self, strict=sanitize_strict)
 
     # -- bootstrapping -----------------------------------------------------------
 
@@ -367,6 +385,8 @@ class Kernel:
         if self.label_cost_mode == "paper":
             modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
         es = labelops.raise_receive(ps, cs, stats)
+        if self.sanitizer is not None:
+            self.sanitizer.check_effective_send(task.name, request.port, ps, cs, es)
 
         ok = True
         # Requirement (2): DS(h) < 3 requires PS(h) = ⋆.
@@ -492,6 +512,14 @@ class Kernel:
     def _try_deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
         """Run the delivery-time checks against *task*; apply effects and
         return True, or record the drop and return False."""
+        if self.sanitizer is None:
+            return self._deliver(task, entry, qmsg)
+        snapshot = self.sanitizer.before_deliver(task, entry, qmsg)
+        delivered = self._deliver(task, entry, qmsg)
+        self.sanitizer.after_deliver(task, entry, qmsg, delivered, snapshot)
+        return delivered
+
+    def _deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
         stats = OpStats()
         self.clock.charge(KERNEL_IPC, self.clock.cost.recv_base)
         # Bill the delivery's label work as the modelled 2005 implementation

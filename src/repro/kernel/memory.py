@@ -25,7 +25,7 @@ state, not declared sizes.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.kernel.errors import InvalidArgument, ResourceExhausted

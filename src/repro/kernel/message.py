@@ -14,7 +14,7 @@ that need replies include a reply port in the payload by convention (the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.core.chunks import ChunkedLabel
 from repro.core.handles import Handle

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional
+from typing import Deque
 
 from repro.core.chunks import ChunkedLabel
 from repro.core.handles import Handle

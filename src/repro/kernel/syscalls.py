@@ -20,7 +20,7 @@ DR = {*}) — i.e. no contamination, no decontamination, no verification.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label

@@ -21,14 +21,14 @@ label (Section 7.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
 from repro.core.levels import L0, L3, STAR
 from repro.ipc import protocol as P
-from repro.kernel.syscalls import ChangeLabel, GetLabels, NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import ChangeLabel, NewPort, Recv, Send, SetPortLabel
 
 #: ok-demux computation per connection (header parse, routing).
 DEMUX_CYCLES = 200_000

@@ -15,8 +15,8 @@ ports, the wire, and the kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label

@@ -18,7 +18,6 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict
 
 from repro.okws.worker import WorkerRequest
 

@@ -22,7 +22,7 @@ test suite includes workers that actively try.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.core.handles import Handle

@@ -25,7 +25,7 @@ services — exactly what per-worker event-process caches cannot give.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label

@@ -26,7 +26,7 @@ at ``⋆`` (via BIND), so receiving tainted queries never contaminates it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
@@ -36,7 +36,7 @@ from repro.db.engine import Database
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
 from repro.kernel.errors import InvalidArgument
-from repro.kernel.syscalls import ChangeLabel, GetLabels, NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import ChangeLabel, NewPort, Recv, Send, SetPortLabel
 
 #: Hidden ownership column added to every table (Section 7.5).
 USER_ID_COLUMN = "_user_id"

@@ -27,14 +27,14 @@ taint.  No central security administrator is involved.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Dict, Optional
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
 from repro.core.levels import L0, L2, L3, STAR
 from repro.ipc import protocol as P
 from repro.kernel.errors import InvalidArgument
-from repro.kernel.syscalls import ChangeLabel, GetLabels, NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import ChangeLabel, NewPort, Recv, Send, SetPortLabel
 
 #: Modelled cycles per file operation.
 FILE_OP_CYCLES = 15_000

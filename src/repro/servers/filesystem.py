@@ -42,7 +42,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
-from repro.core.levels import L0, L2, L3, STAR
+from repro.core.levels import L0, L3, STAR
 from repro.ipc import protocol as P
 from repro.kernel.errors import InvalidArgument
 from repro.kernel.syscalls import ChangeLabel, NewPort, Recv, Send, SetPortLabel

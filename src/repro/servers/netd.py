@@ -25,23 +25,14 @@ outbound buffers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
 from repro.core.levels import L2, L3, STAR
 from repro.ipc import protocol as P
-from repro.kernel.clock import NETWORK
 from repro.kernel.errors import InvalidArgument
-from repro.kernel.syscalls import (
-    ChangeLabel,
-    DissociatePort,
-    GetLabels,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-)
+from repro.kernel.syscalls import ChangeLabel, DissociatePort, NewPort, Recv, Send, SetPortLabel
 
 # -- cycle cost model for the simulated LWIP stack (calibrated once; see
 # -- DESIGN.md "Cycle model calibration") -----------------------------------------

@@ -26,8 +26,7 @@ The wire-facing and application-facing protocols are identical to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 from repro.core.handles import Handle
 from repro.core.labels import Label

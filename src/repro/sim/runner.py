@@ -18,7 +18,7 @@ rows/series and the tests can assert on shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.kernel.clock import CPU_HZ
 from repro.kernel.kernel import Kernel

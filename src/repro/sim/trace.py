@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.analysis.sanitizer import Violation
 from repro.core.handles import Handle
 from repro.core.labels import Label
 from repro.kernel.kernel import Kernel
@@ -36,6 +37,8 @@ class FlowEvent:
     send_after: Optional[Label] = None      # None if dropped
     receive_before: Label = field(default_factory=Label.receive_default)
     receive_after: Optional[Label] = None
+    #: Sanitizer violations raised by this delivery (sanitize mode only).
+    violations: List[Violation] = field(default_factory=list)
 
     @property
     def contaminated(self) -> bool:
@@ -69,8 +72,13 @@ class FlowTracer:
     def _traced_deliver(self, task, entry, qmsg):
         send_before = task.send_label.to_label()
         receive_before = task.receive_label.to_label()
+        sanitizer = self.kernel.sanitizer
+        violations_before = len(sanitizer.violations) if sanitizer else 0
         delivered = self._original(task, entry, qmsg)
         self._seq += 1
+        new_violations = (
+            list(sanitizer.violations[violations_before:]) if sanitizer else []
+        )
         self.events.append(
             FlowEvent(
                 seq=self._seq,
@@ -84,6 +92,7 @@ class FlowTracer:
                 send_after=task.send_label.to_label() if delivered else None,
                 receive_before=receive_before,
                 receive_after=task.receive_label.to_label() if delivered else None,
+                violations=new_violations,
             )
         )
         return delivered
@@ -95,6 +104,9 @@ class FlowTracer:
 
     def contaminations(self) -> List[FlowEvent]:
         return [e for e in self.events if e.contaminated]
+
+    def violations(self) -> List[Violation]:
+        return [v for e in self.events for v in e.violations]
 
     def between(self, sender: str, receiver: str) -> List[FlowEvent]:
         return [
@@ -126,4 +138,6 @@ class FlowTracer:
                     f"         cleared:      {self._fmt(e.receive_before)}"
                     f" -> {self._fmt(e.receive_after)}"
                 )
+            for violation in e.violations:
+                lines.append(f"         !! {violation.format()}")
         return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""asblint fixture: ASB004 — a port handle leaked through a payload.
+
+``reply`` still carries the closed ``{reply 0}`` label minted by
+``new_port`` and nothing ever grants it, so the peer learns the handle
+but can never send to it: the Recv below waits forever and every reply
+is dropped as if the network ate it.
+"""
+
+from repro.kernel.syscalls import NewPort, Recv, Send
+
+
+def dead_drop(ctx):
+    reply = yield NewPort()
+    yield Send(ctx.env["peer"], {"reply_to": reply})  # FINDING
+    msg = yield Recv(port=reply)
+    yield Send(msg.payload["ack"], {"ok": True})

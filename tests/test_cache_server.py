@@ -8,7 +8,7 @@ from repro.core.labels import Label
 from repro.core.levels import L0, L2, L3, STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel import ChangeLabel, Kernel, NewHandle, Recv, Send
+from repro.kernel import ChangeLabel, NewHandle, Send
 from repro.servers.cache import cache_body
 
 

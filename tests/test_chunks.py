@@ -1,19 +1,11 @@
 """Unit and property tests for the chunked kernel label representation
 (paper Section 5.6)."""
 
-import random
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.chunks import (
-    CHUNK_CAPACITY,
-    Chunk,
-    ChunkedLabel,
-    LABEL_HEADER_BYTES,
-    OpStats,
-    shared_memory_bytes,
-)
+from repro.core.chunks import CHUNK_CAPACITY, Chunk, ChunkedLabel, OpStats, shared_memory_bytes
 from repro.core.labels import Label
 from repro.core.levels import ALL_LEVELS, L1, L2, L3, STAR
 

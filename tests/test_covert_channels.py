@@ -1,7 +1,6 @@
 """The Section 8 storage channels: both work as described, both require
 processes per bit, and fork-rate limiting bounds the leak."""
 
-import pytest
 
 from repro.covert import ForkRateLimiter, label_observation_channel, yield_order_channel
 from repro.kernel.kernel import Kernel

@@ -11,7 +11,6 @@ verification labels, decontamination grants...).
 import pytest
 
 from repro.core import labelops
-from repro.core.chunks import ChunkedLabel
 from repro.kernel.kernel import Kernel
 from repro.okws import ServiceConfig, launch
 from repro.okws.services import (

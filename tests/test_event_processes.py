@@ -1,10 +1,9 @@
 """Event processes (paper Section 6): creation, isolation, labels,
 ep_yield/ep_clean/ep_exit, memory accounting, and execution-state sharing."""
 
-import pytest
 
 from repro.core.labels import Label
-from repro.core.levels import L1, L2, L3, STAR
+from repro.core.levels import L1, L3, STAR
 from repro.kernel import (
     ChangeLabel,
     EpCheckpoint,
@@ -13,7 +12,6 @@ from repro.kernel import (
     EpYield,
     Exit,
     GetLabels,
-    Kernel,
     NewHandle,
     NewPort,
     Recv,

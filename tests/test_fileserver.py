@@ -4,10 +4,10 @@ through discretionary contamination, integrity through grant handles."""
 import pytest
 
 from repro.core.labels import Label
-from repro.core.levels import L0, L1, L2, L3, STAR
+from repro.core.levels import L0, L3, STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel import ChangeLabel, Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
+from repro.kernel import ChangeLabel, NewHandle, Recv, Send, Spawn
 from repro.servers.fileserver import file_server_body
 
 

@@ -3,11 +3,10 @@ through a running OKWS site plus direct protocol probes."""
 
 import pytest
 
-from repro.core.labels import Label
-from repro.core.levels import L0, L2, L3, STAR
+from repro.core.levels import STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel.syscalls import NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import Recv, Send
 from repro.okws import ServiceConfig, launch
 from repro.okws.services import notes_handler
 from repro.sim.workload import HttpClient

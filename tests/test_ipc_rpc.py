@@ -1,11 +1,10 @@
 """The protocol helpers and RPC plumbing (repro.ipc)."""
 
-import pytest
 
 from repro.core.labels import Label
-from repro.ipc import Channel, protocol as P, serve_forever
+from repro.ipc import Channel, protocol as P
 from repro.ipc.rpc import serve_forever as serve
-from repro.kernel import Kernel, NewPort, Recv, Send, SetPortLabel
+from repro.kernel import NewPort, Recv, Send, SetPortLabel
 
 
 def test_request_and_reply_to():

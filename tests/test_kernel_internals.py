@@ -5,16 +5,7 @@ import pytest
 
 from repro.core.chunks import ChunkedLabel
 from repro.core.labels import Label
-from repro.kernel import (
-    EpCheckpoint,
-    EpYield,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-)
+from repro.kernel import EpCheckpoint, EpYield, Kernel, NewHandle, NewPort, Recv, SetPortLabel
 from repro.kernel.clock import CostModel, CycleClock, KERNEL_IPC, NETWORK
 from repro.kernel.message import QueuedMessage
 from repro.kernel.ports import Port

@@ -2,20 +2,10 @@
 contamination, decontamination, verification, port labels, and the
 unreliable-send discipline (paper Sections 4 and 5)."""
 
-import pytest
 
 from repro.core.labels import Label
 from repro.core.levels import L0, L1, L2, L3, STAR
-from repro.kernel import (
-    ChangeLabel,
-    GetLabels,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-)
+from repro.kernel import ChangeLabel, GetLabels, NewHandle, NewPort, Recv, Send, SetPortLabel
 from repro.kernel.errors import InvalidArgument
 
 

@@ -14,7 +14,7 @@ from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, ru
 from repro.core import labelops
 from repro.core.chunks import CHUNK_CAPACITY, ChunkedLabel, OpStats
 from repro.core.labels import Label
-from repro.core.levels import ALL_LEVELS, L1, STAR
+from repro.core.levels import ALL_LEVELS, STAR
 
 levels = st.sampled_from(ALL_LEVELS)
 handles = st.integers(min_value=0, max_value=400)

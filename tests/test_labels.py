@@ -1,15 +1,13 @@
 """Unit and property tests for the Label lattice (paper Sections 5.1–5.3,
 Figure 3)."""
 
-import random
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.core.labels import Label
 from repro.core.levels import ALL_LEVELS, L0, L1, L2, L3, STAR
 
-from tests.conftest import random_label
 
 levels = st.sampled_from(ALL_LEVELS)
 handles = st.integers(min_value=0, max_value=60)

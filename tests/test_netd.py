@@ -7,7 +7,7 @@ from repro.core.labels import Label
 from repro.core.levels import L0, L2, L3, STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel import Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel
+from repro.kernel import NewHandle, NewPort, Recv, Send, SetPortLabel
 from repro.kernel.clock import NETWORK
 from repro.servers.netd import Wire, netd_body
 

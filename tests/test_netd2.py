@@ -9,7 +9,7 @@ import pytest
 from repro.core.labels import Label
 from repro.core.levels import L2, L3, STAR
 from repro.ipc import protocol as P
-from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import NewHandle, Send
 from repro.okws import ServiceConfig, launch
 from repro.okws.services import echo_handler, notes_handler, session_cache_handler
 from repro.sim.workload import HttpClient

@@ -6,10 +6,9 @@ host or to listen for incoming connections")."""
 import pytest
 
 from repro.core.labels import Label
-from repro.core.levels import L3, STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel import Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel
+from repro.kernel import NewPort, Recv, Send, SetPortLabel
 from repro.kernel.clock import NETWORK
 from repro.servers.netd import Wire, netd_body
 

@@ -9,7 +9,6 @@ IDs, and the stored rows come back under the new compartments — isolation
 carries over even though every label in the system is new.
 """
 
-import pytest
 
 from repro.okws import ServiceConfig, launch
 from repro.okws.services import notes_handler, profile_declassifier_handler, profile_handler
@@ -46,7 +45,7 @@ def _restore(site, dump):
     interface (BULK_INSERT preserves the ownership column)."""
     from repro.ipc import protocol as P
     from repro.ipc.rpc import Channel
-    from repro.kernel.syscalls import NewHandle, Send
+    from repro.kernel.syscalls import Send
 
     def restorer(ctx):
         chan = yield from Channel.open()

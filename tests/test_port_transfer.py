@@ -3,19 +3,10 @@ are delivered to the single process with receive rights for that port;
 this is initially the process that created the port, but receive rights
 are transferable.")."""
 
-import pytest
 
 from repro.core.labels import Label
-from repro.core.levels import L1, L3, STAR
-from repro.kernel import (
-    ChangeLabel,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-)
+from repro.core.levels import L3, STAR
+from repro.kernel import NewHandle, NewPort, Recv, Send, SetPortLabel
 from repro.kernel.errors import NotOwner
 
 

@@ -4,19 +4,10 @@ shells, a terminal, and the trusted file server."""
 import pytest
 
 from repro.core.labels import Label
-from repro.core.levels import L1, L2, L3, STAR
+from repro.core.levels import L2, L3, STAR
 from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
-from repro.kernel import (
-    GetLabels,
-    Kernel,
-    NewHandle,
-    NewPort,
-    Recv,
-    Send,
-    SetPortLabel,
-    Spawn,
-)
+from repro.kernel import GetLabels, NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
 from repro.servers.fileserver import file_server_body
 
 

@@ -1,0 +1,197 @@
+"""The runtime IFC sanitizer: differential fused-vs-naive checking.
+
+Drives random label/DS/V/DR combinations through live kernel IPC with the
+sanitizer enabled in strict mode (any fused/naive disagreement raises),
+then deliberately corrupts each fused fast path and asserts the sanitizer
+flags exactly that corruption.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sanitizer import (
+    CHECK_MISMATCH,
+    RECEIVE_EFFECT_MISMATCH,
+    SEND_EFFECT_MISMATCH,
+    SanitizerViolation,
+)
+from repro.core import labelops
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS, L2, L3, STAR
+from repro.kernel.kernel import Kernel
+from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel
+
+levels = st.sampled_from(ALL_LEVELS)
+labels = st.builds(
+    Label,
+    st.dictionaries(st.integers(min_value=1, max_value=12), levels, max_size=5),
+    default=levels,
+)
+
+
+# -- the property: random IPC label combinations never trip the sanitizer -----------
+
+
+@given(cs=labels, ds=labels, v=labels, dr=labels, port_label=labels)
+@settings(max_examples=60, deadline=None)
+def test_random_labels_fused_agrees_with_naive(cs, ds, v, dr, port_label):
+    # Strict mode: any fused/naive disagreement raises out of kernel.run().
+    kernel = Kernel(sanitize=True)
+
+    def body(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, port_label)
+        yield Send(
+            port,
+            {"x": 1},
+            contaminate=cs,
+            decontaminate_send=ds,
+            verify=v,
+            decontaminate_receive=dr,
+        )
+        yield Recv(port=port, block=False)
+
+    kernel.spawn(body, "self-talker")
+    kernel.run()
+    assert kernel.sanitizer is not None
+    assert kernel.sanitizer.violations == []
+    # The send-time ES cross-check always ran; the delivery cross-check ran
+    # unless requirements (2)/(3) dropped the message at send time.
+    assert kernel.sanitizer.checked_sends == 1
+
+
+@given(es=labels, qr=labels, dr=labels, v=labels, pr=labels)
+@settings(max_examples=200)
+def test_fused_check_matches_the_sanitizer_reference(es, qr, dr, v, pr):
+    from repro.core.chunks import ChunkedLabel, OpStats
+
+    fused = labelops.check_send(
+        ChunkedLabel.from_label(es),
+        ChunkedLabel.from_label(qr),
+        ChunkedLabel.from_label(dr),
+        ChunkedLabel.from_label(v),
+        ChunkedLabel.from_label(pr),
+        OpStats(),
+    )
+    naive = es <= ((qr | dr) & v & pr)
+    assert fused == naive
+
+
+# -- deliberate corruption must be flagged -------------------------------------------
+
+
+def _run_pair(kernel: Kernel, sender_body) -> None:
+    """A receiver blocked on an open port, then *sender_body* fires at it."""
+    box = {}
+
+    def receiver(ctx):
+        port = yield NewPort()
+        yield SetPortLabel(port, Label.top())
+        ctx.env["box"]["port"] = port
+        ctx.env["box"]["msg"] = yield Recv(port=port)
+
+    kernel.spawn(receiver, "rx", env={"box": box})
+    kernel.run()
+    kernel.spawn(sender_body, "tx", env={"box": box})
+    kernel.run()
+
+
+def _violation_kinds(kernel: Kernel):
+    return [v.kind for v in kernel.sanitizer.violations]
+
+
+def test_corrupted_check_send_false_is_flagged(monkeypatch):
+    monkeypatch.setattr(labelops, "check_send", lambda *args: False)
+    kernel = Kernel(sanitize=True, sanitize_strict=False)
+
+    def sender(ctx):
+        yield Send(ctx.env["box"]["port"], {"x": 1})
+
+    _run_pair(kernel, sender)
+    assert CHECK_MISMATCH in _violation_kinds(kernel)
+
+
+def test_corrupted_check_send_true_is_flagged(monkeypatch):
+    # The fused path waves through a send the Figure 4 check must drop
+    # (contamination at 3 exceeds the default receive clearance 2).
+    monkeypatch.setattr(labelops, "check_send", lambda *args: True)
+    kernel = Kernel(sanitize=True, sanitize_strict=False)
+
+    def sender(ctx):
+        h = yield NewHandle()
+        yield Send(ctx.env["box"]["port"], {"x": 1}, contaminate=Label({h: L3}, STAR))
+
+    _run_pair(kernel, sender)
+    assert CHECK_MISMATCH in _violation_kinds(kernel)
+
+
+def test_corrupted_send_effects_is_flagged(monkeypatch):
+    # Contamination silently not applied: QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS⋆)
+    # replaced by the identity.
+    monkeypatch.setattr(
+        labelops, "apply_send_effects", lambda qs, es, ds, stats=None: qs
+    )
+    kernel = Kernel(sanitize=True, sanitize_strict=False)
+
+    def sender(ctx):
+        h = yield NewHandle()
+        yield Send(ctx.env["box"]["port"], {"x": 1}, contaminate=Label({h: L2}, STAR))
+
+    _run_pair(kernel, sender)
+    assert SEND_EFFECT_MISMATCH in _violation_kinds(kernel)
+
+
+def test_corrupted_raise_receive_is_flagged(monkeypatch):
+    # QR ← QR ⊔ DR replaced by the identity: a granted receive-clearance
+    # raise is silently lost.
+    monkeypatch.setattr(labelops, "raise_receive", lambda qr, dr, stats=None: qr)
+    kernel = Kernel(sanitize=True, sanitize_strict=False)
+
+    def sender(ctx):
+        h = yield NewHandle()
+        yield Send(
+            ctx.env["box"]["port"], {"x": 1}, decontaminate_receive=Label({h: L3}, STAR)
+        )
+
+    _run_pair(kernel, sender)
+    assert RECEIVE_EFFECT_MISMATCH in _violation_kinds(kernel)
+
+
+def test_strict_mode_raises_on_corruption(monkeypatch):
+    monkeypatch.setattr(labelops, "check_send", lambda *args: False)
+    kernel = Kernel(sanitize=True)  # strict by default
+
+    def sender(ctx):
+        yield Send(ctx.env["box"]["port"], {"x": 1})
+
+    with pytest.raises(SanitizerViolation):
+        _run_pair(kernel, sender)
+
+
+# -- plumbing ------------------------------------------------------------------------
+
+
+def test_env_var_enables_sanitizer(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Kernel().sanitizer is not None
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert Kernel().sanitizer is None
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert Kernel().sanitizer is None
+
+
+def test_flow_tracer_carries_violations(monkeypatch):
+    from repro.sim.trace import FlowTracer
+
+    monkeypatch.setattr(labelops, "check_send", lambda *args: False)
+    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    tracer = FlowTracer(kernel)
+
+    def sender(ctx):
+        yield Send(ctx.env["box"]["port"], {"x": 1})
+
+    _run_pair(kernel, sender)
+    assert [v.kind for v in tracer.violations()] == [CHECK_MISMATCH]
+    assert "SANITIZER[check-mismatch]" in tracer.format()

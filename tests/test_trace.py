@@ -1,10 +1,9 @@
 """The label-flow tracer (repro.sim.trace)."""
 
-import pytest
 
 from repro.core.labels import Label
 from repro.core.levels import L2, L3, STAR
-from repro.kernel import Kernel, NewHandle, NewPort, Recv, Send, SetPortLabel
+from repro.kernel import NewHandle, NewPort, Recv, Send, SetPortLabel
 from repro.sim.trace import FlowTracer
 
 
