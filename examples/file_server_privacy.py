@@ -58,7 +58,7 @@ def main() -> None:
         yield from chan.call(
             fs_port,
             P.request(P.CREATE, path="/home/u/secret", taint=uT, data=b"my diary"),
-            decontaminate_send=Label({uT: STAR}, L3),
+            ds=Label({uT: STAR}, L3),
         )
         yield Spawn(terminal, name="UT", env={"mgr": mgr})
         yield Spawn(shell, name="U", env={"mgr": mgr, "who": "U"})
@@ -70,14 +70,14 @@ def main() -> None:
         # Figure 2's labels: UT and U are labelled with uT (send {uT 3, 1},
         # receive {uT 3, 2}); V with vT.
         yield Send(ports["UT"], {"setup": True},
-                   contaminate=Label({uT: L3}, STAR),
-                   decontaminate_receive=Label({uT: L3}, STAR))
+                   cs=Label({uT: L3}, STAR),
+                   dr=Label({uT: L3}, STAR))
         yield Send(ports["U"], {"terminal": ports["UT"]},
-                   contaminate=Label({uT: L3}, STAR),
-                   decontaminate_receive=Label({uT: L3}, STAR))
+                   cs=Label({uT: L3}, STAR),
+                   dr=Label({uT: L3}, STAR))
         yield Send(ports["V"], {"terminal": ports["UT"]},
-                   contaminate=Label({vT: L3}, STAR),
-                   decontaminate_receive=Label({vT: L3}, STAR))
+                   cs=Label({vT: L3}, STAR),
+                   dr=Label({vT: L3}, STAR))
 
     print("booting Figure 2's world...")
     kernel.spawn(login_manager, "login-manager")

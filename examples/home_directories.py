@@ -57,7 +57,7 @@ def main() -> None:
         # ls /home: only our own home is visible to us.
         yield from chan.call(port, P.request("WALK", fid=0, newfid=2, names=["home"]))
         listing = yield from chan.call(
-            port, P.request(P.READ, fid=2), verify=Label({uT: L3}, L2)
+            port, P.request(P.READ, fid=2), v=Label({uT: L3}, L2)
         )
         out[f"{me} ls /home"] = sorted(e["name"] for e in listing.payload["entries"])
         # Read our own note back.
@@ -83,7 +83,7 @@ def main() -> None:
             yield from chan.call(
                 port,
                 P.request("CREATE", fid=1, name=user, kind="dir", taint=uT, grant=uG),
-                decontaminate_send=Label({uT: STAR}, L3),
+                ds=Label({uT: STAR}, L3),
             )
         yield from chan.call(
             port, P.request("CREATE", fid=0, name="motd", kind="file", data=b"welcome!")
@@ -97,7 +97,7 @@ def main() -> None:
             yield Send(
                 hello.payload["reply"],
                 {"taint": wT, "grant": wG},
-                decontaminate_send=Label({wT: STAR, wG: STAR}, L3),
+                ds=Label({wT: STAR, wG: STAR}, L3),
             )
 
     kernel.spawn(admin, "admin")

@@ -59,7 +59,7 @@ def main() -> None:
         yield Send(
             reader.env["system_port"],
             {"from": "fs", "mail": "1 new message"},
-            contaminate=Label({h: L2}, STAR),
+            cs=Label({h: L2}, STAR),
         )
 
     def attachment_viewer(ctx):

@@ -73,20 +73,20 @@ def main() -> None:
         # Clear the top-secret reader and the downgrader (we created the
         # compartments, so we hold both stars).
         yield Send(ports["top-secret"], {"setup": 1},
-                   decontaminate_receive=Label({s: L3, t: L3}, STAR))
+                   dr=Label({s: L3, t: L3}, STAR))
         yield Send(ports["downgrader"], {"setup": 1},
-                   decontaminate_send=Label({s: STAR, t: STAR}, L3),
-                   decontaminate_receive=Label({s: L3, t: L3}, STAR))
+                   ds=Label({s: STAR, t: STAR}, L3),
+                   dr=Label({s: L3, t: L3}, STAR))
 
         # A secret document, published at classification "secret":
         secret_doc = "NOFORN troop movements"
         for target in ("top-secret", "unclassified"):
             yield Send(ports[target], {"doc": secret_doc},
-                       contaminate=kpolicy.contamination("secret"))
+                       cs=kpolicy.contamination("secret"))
         # The downgrader sanitises it for the unclassified reader:
         yield Send(ports["downgrader"],
                    {"doc": secret_doc, "release_to": ports["unclassified"]},
-                   contaminate=kpolicy.contamination("secret"))
+                   cs=kpolicy.contamination("secret"))
 
     kernel.spawn(administrator, "administrator")
     kernel.run()

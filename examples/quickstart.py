@@ -45,8 +45,8 @@ def main() -> None:
             yield Send(
                 msg.payload["reply"],
                 {"secret": "the launch code is 0000"},
-                contaminate=Label({secret_compartment: L3}, STAR),
-                decontaminate_receive=Label({secret_compartment: L3}, STAR),
+                cs=Label({secret_compartment: L3}, STAR),
+                dr=Label({secret_compartment: L3}, STAR),
             )
 
     def bob(ctx):

@@ -5,24 +5,33 @@ Quick tour of the public surface:
 
 - :mod:`repro.core` — the label algebra: :class:`~repro.core.labels.Label`,
   levels ``STAR < 0 < 1 < 2 < 3``, 61-bit handles.
-- :mod:`repro.kernel` — the simulated OS: :class:`~repro.kernel.Kernel`,
-  the syscall objects program generators yield, event processes.
+- :mod:`repro.kernel` — the simulated OS: :class:`~repro.kernel.Kernel`
+  (configured with a frozen :class:`~repro.kernel.KernelConfig`), the
+  syscall objects program generators yield, event processes.
 - :mod:`repro.okws` — the OKWS web server: :func:`~repro.okws.launch`,
   :class:`~repro.okws.ServiceConfig`, the worker framework.
+- :mod:`repro.obs` — observability: :class:`~repro.obs.MetricsRegistry`,
+  :class:`~repro.obs.SpanRecorder` (Chrome trace export), and the
+  ``python -m repro bench`` harness.
 - :mod:`repro.sim` — workload generation and the experiment drivers that
   regenerate the paper's figures.
 - :mod:`repro.policies` — MLS, capability and integrity recipes.
 - :mod:`repro.covert` — the Section 8 storage channels and mitigation.
 
+The stable, re-exported surface is exactly ``repro.__all__`` below (see
+the API table in README.md); anything else may move between releases.
+
 Start with ``python examples/quickstart.py`` or ``python -m repro``.
 """
 
 from repro.core import Label, STAR, L0, L1, L2, L3, Handle, HandleAllocator
-from repro.kernel import Kernel
+from repro.kernel import Kernel, KernelConfig
+from repro.obs import MetricsRegistry, SpanRecorder, kernel_snapshot
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # label algebra
     "Label",
     "STAR",
     "L0",
@@ -31,6 +40,47 @@ __all__ = [
     "L3",
     "Handle",
     "HandleAllocator",
+    # the machine
     "Kernel",
+    "KernelConfig",
+    # observability
+    "MetricsRegistry",
+    "SpanRecorder",
+    "kernel_snapshot",
+    # entry points (lazy; see __getattr__)
+    "launch",
+    "ServiceConfig",
+    "run_memory_experiment",
+    "run_session_sweep",
+    "run_latency_experiment",
+    "run_bench",
+    "analyze_paths",
     "__version__",
 ]
+
+#: Lazily-resolved re-exports: importing ``repro`` must stay cheap (no
+#: OKWS/simulator machinery), but ``from repro import launch`` still works.
+_LAZY = {
+    "launch": ("repro.okws", "launch"),
+    "ServiceConfig": ("repro.okws", "ServiceConfig"),
+    "run_memory_experiment": ("repro.sim.runner", "run_memory_experiment"),
+    "run_session_sweep": ("repro.sim.runner", "run_session_sweep"),
+    "run_latency_experiment": ("repro.sim.runner", "run_latency_experiment"),
+    "run_bench": ("repro.obs.bench", "run_bench"),
+    "analyze_paths": ("repro.analysis.asblint", "analyze_paths"),
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -76,14 +76,15 @@ SYSCALL_NAMES = frozenset(
 #: Level constants resolvable in label literals.
 LEVEL_CONSTS = {"STAR": STAR, "L0": 0, "L1": L1, "L2": L2, "L3": L3}
 
-#: Positional argument order of the Send dataclass.
+#: Positional argument order of the Send dataclass (short Figure 4 names;
+#: the long spellings are accepted as keyword aliases below).
 SEND_FIELDS = (
     "port",
     "payload",
-    "contaminate",
-    "decontaminate_send",
-    "verify",
-    "decontaminate_receive",
+    "cs",
+    "ds",
+    "v",
+    "dr",
     "transfer",
 )
 
@@ -643,10 +644,10 @@ class ProgramAnalyzer:
         args = self._bind_args(call, SEND_FIELDS)
         port_val = self.resolve(args.get("port"), state)
 
-        cs = self._label_arg(args.get("contaminate"), state)
-        ds = self._label_arg(args.get("decontaminate_send"), state)
-        v = self._label_arg(args.get("verify"), state)
-        dr = self._label_arg(args.get("decontaminate_receive"), state)
+        cs = self._label_arg(args.get("cs", args.get("contaminate")), state)
+        ds = self._label_arg(args.get("ds", args.get("decontaminate_send")), state)
+        v = self._label_arg(args.get("v", args.get("verify")), state)
+        dr = self._label_arg(args.get("dr", args.get("decontaminate_receive")), state)
 
         ps = state.abstract.ps
         es = ps.join(cs) if cs is not None else ps

@@ -6,12 +6,16 @@ Subcommands::
     python -m repro tour
     python -m repro analyze <paths...> [--json] [--select RULES] [-v]
     python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
+    python -m repro bench [--quick] [--out DIR] [--only FIGS]
+    python -m repro bench --validate <BENCH_*.json...>
 
 ``analyze`` runs the asblint static pass and exits 1 if any finding
 survives the pragma filter.  ``run`` drives the OKWS demo workload on a
 live kernel; with ``--sanitize`` every IPC is differentially checked
 against the naive label operators and the command exits 1 on any
-violation.
+violation.  ``bench`` regenerates the paper's figures headlessly and
+writes machine-readable ``BENCH_<figure>.json`` documents (schema
+``repro-bench/v1``); ``--validate`` checks existing documents instead.
 """
 
 from __future__ import annotations
@@ -164,6 +168,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    if args.validate:
+        results = bench.validate_files(args.validate)
+        bad = False
+        for path, problems in results.items():
+            if problems:
+                bad = True
+                for problem in problems:
+                    print(f"{path}: {problem}", file=sys.stderr)
+            else:
+                print(f"{path}: ok")
+        return 1 if bad else 0
+
+    only = None
+    if args.only:
+        only = [f.strip() for f in args.only.split(",") if f.strip()]
+    try:
+        paths = bench.run_bench(out_dir=args.out, quick=args.quick, only=only)
+    except ValueError as err:
+        print(f"repro bench: {err}", file=sys.stderr)
+        return 2
+    print(f"repro bench: {len(paths)} document(s) written")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -215,6 +246,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --trace, only the last N events",
     )
     run.set_defaults(strict=True)
+
+    bench = sub.add_parser(
+        "bench", help="regenerate the paper's figures as BENCH_*.json"
+    )
+    bench.add_argument(
+        "--quick", action="store_true", help="CI-scale grids (tens of seconds)"
+    )
+    bench.add_argument(
+        "--out", default=".", metavar="DIR", help="output directory (default: .)"
+    )
+    bench.add_argument(
+        "--only",
+        metavar="FIGS",
+        help="comma-separated subset of fig6,fig7,fig8,fig9,labelops",
+    )
+    bench.add_argument(
+        "--validate",
+        nargs="+",
+        metavar="FILE",
+        help="validate existing BENCH_*.json files instead of running",
+    )
     return parser
 
 
@@ -228,5 +280,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(namespace)
     if namespace.command == "run":
         return _cmd_run(namespace)
+    if namespace.command == "bench":
+        return _cmd_bench(namespace)
     parser.error(f"unknown command {namespace.command!r}")  # pragma: no cover
     return 2  # pragma: no cover

@@ -68,6 +68,13 @@ class OpStats:
     chunks_allocated: int = 0
     chunks_shared: int = 0
     operations: int = 0
+    #: Operations resolved entirely by the min/max (or level-mask) hints —
+    #: no pointwise walk of the large operand.  fast_path + full_merges
+    #: does not necessarily equal operations: cheap ops like sparse_update
+    #: are classified as neither.
+    fast_path: int = 0
+    #: Operations that fell back to a full pointwise merge/scan.
+    full_merges: int = 0
 
     def merge(self, other: "OpStats") -> None:
         self.entries_scanned += other.entries_scanned
@@ -76,6 +83,8 @@ class OpStats:
         self.chunks_allocated += other.chunks_allocated
         self.chunks_shared += other.chunks_shared
         self.operations += other.operations
+        self.fast_path += other.fast_path
+        self.full_merges += other.full_merges
 
     def reset(self) -> None:
         self.entries_scanned = 0
@@ -84,6 +93,8 @@ class OpStats:
         self.chunks_allocated = 0
         self.chunks_shared = 0
         self.operations = 0
+        self.fast_path = 0
+        self.full_merges = 0
 
 
 def level_bit(level: Level) -> int:
@@ -277,9 +288,14 @@ class ChunkedLabel:
         if self.max_level <= other.min_level and self.default <= other.default:
             if stats is not None:
                 stats.chunks_skipped += len(self.chunks) + len(other.chunks)
+                stats.fast_path += 1
             return True
         if self.default > other.default:
+            if stats is not None:
+                stats.fast_path += 1
             return False
+        if stats is not None:
+            stats.full_merges += 1
         scanned = 0
         for handle, level in self.iter_entries():
             scanned += 1
@@ -311,12 +327,16 @@ class ChunkedLabel:
             if stats is not None:
                 stats.chunks_skipped += len(other.chunks)
                 stats.chunks_shared += len(self.chunks)
+                stats.fast_path += 1
             return self
         if self.max_level <= other.min_level:
             if stats is not None:
                 stats.chunks_skipped += len(self.chunks)
                 stats.chunks_shared += len(other.chunks)
+                stats.fast_path += 1
             return other
+        if stats is not None:
+            stats.full_merges += 1
         return _merge(self, other, max, stats)
 
     def glb(self, other: "ChunkedLabel", stats: Optional[OpStats] = None) -> "ChunkedLabel":
@@ -327,12 +347,16 @@ class ChunkedLabel:
             if stats is not None:
                 stats.chunks_skipped += len(other.chunks)
                 stats.chunks_shared += len(self.chunks)
+                stats.fast_path += 1
             return self
         if self.min_level >= other.max_level:
             if stats is not None:
                 stats.chunks_skipped += len(self.chunks)
                 stats.chunks_shared += len(other.chunks)
+                stats.fast_path += 1
             return other
+        if stats is not None:
+            stats.full_merges += 1
         return _merge(self, other, min, stats)
 
     def stars(self, stats: Optional[OpStats] = None) -> "ChunkedLabel":

@@ -118,8 +118,11 @@ def check_send(
         if stats is not None:
             stats.entries_scanned += scanned
             stats.chunks_skipped += len(qr.chunks)
+            stats.fast_path += 1
         return True
 
+    if stats is not None:
+        stats.full_merges += 1
     for handle, level in qr.iter_entries():
         if handle in small:
             continue
@@ -172,6 +175,11 @@ def apply_send_effects(
         f(lvl, es.default, ds.default) == lvl and f(lvl, STAR, ds.default) == lvl
         for lvl in _levels_in(qs)
     )
+    if stats is not None:
+        if fast:
+            stats.fast_path += 1
+        else:
+            stats.full_merges += 1
     if fast:
         # Only non-star ES entries and explicit DS entries can change the
         # receiver: an ES entry at * contributes min(*, ·) = *, which the
@@ -221,6 +229,11 @@ def raise_receive(
         not qr.chunks or dr.default <= qr.explicit_min
     )
     touched = _explicit_handles(dr)
+    if stats is not None:
+        if fast:
+            stats.fast_path += 1
+        else:
+            stats.full_merges += 1
     if fast:
         updates: Dict[Handle, Level] = {}
         changed = False

@@ -42,13 +42,18 @@ class Channel:
         self,
         port: Handle,
         payload: Dict[str, Any],
-        contaminate: Optional[Label] = None,
-        decontaminate_send: Optional[Label] = None,
-        verify: Optional[Label] = None,
-        decontaminate_receive: Optional[Label] = None,
+        cs: Optional[Label] = None,
+        ds: Optional[Label] = None,
+        v: Optional[Label] = None,
+        dr: Optional[Label] = None,
+        **aliases: Optional[Label],
     ) -> Generator:
         """Send *payload* (with ``reply`` pointing here) and await the
         reply.  Returns the reply :class:`Message`.
+
+        The discretionary labels use the paper's short names ``cs`` /
+        ``ds`` / ``v`` / ``dr`` (the long spellings ``contaminate`` etc.
+        are accepted as aliases, exactly as on :class:`Send`).
 
         Asbestos sends are unreliable, so a call whose request or reply is
         dropped by a label check would block forever; callers for whom
@@ -59,14 +64,7 @@ class Channel:
         """
         payload = dict(payload)
         payload["reply"] = self.port
-        yield Send(
-            port,
-            payload,
-            contaminate=contaminate,
-            decontaminate_send=decontaminate_send,
-            verify=verify,
-            decontaminate_receive=decontaminate_receive,
-        )
+        yield Send(port, payload, cs=cs, ds=ds, v=v, dr=dr, **aliases)
         msg = yield Recv(port=self.port)
         return msg
 

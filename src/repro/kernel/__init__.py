@@ -4,10 +4,13 @@ Public surface:
 
 - :class:`~repro.kernel.kernel.Kernel` — the machine (spawn processes,
   inject wire traffic, run to quiescence, inspect memory/cycles).
+- :class:`~repro.kernel.config.KernelConfig` — the frozen run-mode options
+  (``Kernel(config=...)``; ``KernelConfig.from_env()`` for env-driven).
 - :mod:`~repro.kernel.syscalls` — the syscall objects program bodies yield.
 - :class:`~repro.kernel.message.Message` — what a recv returns.
 """
 
+from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.message import Message
 from repro.kernel.syscalls import (
@@ -31,6 +34,7 @@ from repro.kernel.syscalls import (
 
 __all__ = [
     "Kernel",
+    "KernelConfig",
     "Message",
     "ChangeLabel",
     "Compute",

@@ -1,0 +1,140 @@
+"""Kernel configuration — the single place run-mode options live.
+
+Historically every option was its own ``Kernel(...)`` keyword with its own
+environment-variable fallback scattered through the constructor.
+:class:`KernelConfig` replaces that surface: a frozen dataclass that is
+validated once, read everywhere, and constructed either explicitly
+(``Kernel(config=KernelConfig(metrics=True))``) or from the environment
+(:meth:`KernelConfig.from_env`, which is what a bare ``Kernel()`` does).
+
+The legacy keywords still work — ``Kernel(trace=True, sanitize=True)``
+builds the equivalent config and emits a :class:`DeprecationWarning` — so
+existing call sites keep running while the tree migrates.
+
+Environment variables (all optional; explicit arguments win):
+
+======================== ==============================================
+``REPRO_SANITIZE``        enable the differential label sanitizer
+``REPRO_SANITIZE_STRICT`` raise on the first sanitizer violation
+``REPRO_TRACE``           keep the kernel debug log, re-raise crashes
+``REPRO_LABEL_COST_MODE`` ``paper`` or ``fused`` cycle billing
+``REPRO_RAM_BYTES``       cap simulated RAM (bytes)
+``REPRO_METRICS``         enable the observability metrics registry
+``REPRO_SPANS``           enable span tracing (Chrome trace export)
+======================== ==============================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+#: Valid values for ``label_cost_mode``.
+LABEL_COST_MODES = ("paper", "fused")
+
+_TRUTHY_OFF = ("", "0", "false", "no", "off")
+
+
+def _env_bool(env: Mapping[str, str], name: str) -> Optional[bool]:
+    """Tri-state: None when unset, else the usual truthiness convention."""
+    if name not in env:
+        return None
+    return env[name].strip().lower() not in _TRUTHY_OFF
+
+
+def _env_int(env: Mapping[str, str], name: str) -> Optional[int]:
+    raw = env.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError as err:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from err
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Immutable run-mode options for one :class:`~repro.kernel.Kernel`.
+
+    Groups (see DESIGN.md §8 for the observability half):
+
+    - simulation shape: ``ram_bytes``, ``boot_key``;
+    - diagnostics: ``trace`` (debug log + re-raise crashed bodies),
+      ``sanitize``/``sanitize_strict`` (the differential label sanitizer);
+    - cycle billing: ``label_cost_mode`` — ``"paper"`` bills label work as
+      the 2005 implementation would pay it (reproduces Figure 9),
+      ``"fused"`` bills the sparsity-aware operations actually executed;
+    - observability: ``metrics`` (the :class:`~repro.obs.MetricsRegistry`
+      wired through the kernel hot paths), ``spans`` (message/activation
+      span recording, exportable as Chrome ``trace_event`` JSON),
+      ``span_limit`` (ring-buffer bound on recorded span events).
+    """
+
+    ram_bytes: Optional[int] = None
+    boot_key: bytes = b"asbestos-boot-key"
+    trace: bool = False
+    label_cost_mode: str = "paper"
+    sanitize: bool = False
+    sanitize_strict: bool = True
+    metrics: bool = False
+    spans: bool = False
+    span_limit: int = 250_000
+
+    def __post_init__(self) -> None:
+        if self.label_cost_mode not in LABEL_COST_MODES:
+            raise ValueError(
+                f"unknown label_cost_mode: {self.label_cost_mode!r} "
+                f"(expected one of {LABEL_COST_MODES})"
+            )
+        if self.ram_bytes is not None and self.ram_bytes <= 0:
+            raise ValueError(f"ram_bytes must be positive, got {self.ram_bytes}")
+        if self.span_limit <= 0:
+            raise ValueError(f"span_limit must be positive, got {self.span_limit}")
+
+    @classmethod
+    def from_env(
+        cls,
+        env: Optional[Mapping[str, str]] = None,
+        **overrides: Any,
+    ) -> "KernelConfig":
+        """Build a config from the environment.
+
+        Precedence: explicit ``overrides`` > environment variables >
+        dataclass defaults.  ``overrides`` whose value is ``None`` are
+        treated as "unset" for the tri-state options (matching the legacy
+        ``Kernel(sanitize=None)`` convention of "consult the environment").
+        """
+        env = os.environ if env is None else env
+        values: Dict[str, Any] = {}
+        sanitize = _env_bool(env, "REPRO_SANITIZE")
+        if sanitize is not None:
+            values["sanitize"] = sanitize
+        strict = _env_bool(env, "REPRO_SANITIZE_STRICT")
+        if strict is not None:
+            values["sanitize_strict"] = strict
+        trace = _env_bool(env, "REPRO_TRACE")
+        if trace is not None:
+            values["trace"] = trace
+        metrics = _env_bool(env, "REPRO_METRICS")
+        if metrics is not None:
+            values["metrics"] = metrics
+        spans = _env_bool(env, "REPRO_SPANS")
+        if spans is not None:
+            values["spans"] = spans
+        mode = env.get("REPRO_LABEL_COST_MODE", "").strip()
+        if mode:
+            values["label_cost_mode"] = mode
+        ram = _env_int(env, "REPRO_RAM_BYTES")
+        if ram is not None:
+            values["ram_bytes"] = ram
+        for key, value in overrides.items():
+            if value is None and key not in ("ram_bytes",):
+                continue  # "unset": keep the env/default resolution
+            values[key] = value
+        return cls(**values)
+
+    def replace(self, **changes: Any) -> "KernelConfig":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)

@@ -27,7 +27,7 @@ deliverability earlier, since labels change in the meantime (Section 4).
 
 from __future__ import annotations
 
-import os
+import warnings
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.core import labelops
@@ -40,6 +40,7 @@ from repro.core.labels import (
 from repro.core.levels import L0, L3, STAR
 from repro.kernel import syscalls as sc
 from repro.kernel.clock import CycleClock, KERNEL_IPC, OTHER
+from repro.kernel.config import KernelConfig
 from repro.kernel.errors import (
     DROP_DEAD_PORT,
     DROP_DECONT_PRIVILEGE,
@@ -92,30 +93,78 @@ def _payload_bytes(payload: Any) -> int:
     return 64
 
 
+#: Sentinel distinguishing "keyword not passed" from any real value, so
+#: the deprecation shim only fires for arguments the caller actually used.
+_UNSET: Any = object()
+
+
 class Kernel:
-    """The simulated machine: CPU clock, RAM, handle space, tasks, ports."""
+    """The simulated machine: CPU clock, RAM, handle space, tasks, ports.
+
+    Construct with a :class:`~repro.kernel.config.KernelConfig`::
+
+        Kernel(config=KernelConfig(metrics=True, label_cost_mode="fused"))
+
+    A bare ``Kernel()`` resolves its config from the environment
+    (``KernelConfig.from_env()``), which is how whole test suites are
+    swept under the sanitizer or metrics without touching call sites.
+    The pre-config keywords (``trace=...``, ``sanitize=...``, ...) still
+    work but emit a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
-        ram_bytes: Optional[int] = None,
-        boot_key: bytes = b"asbestos-boot-key",
-        trace: bool = False,
-        label_cost_mode: str = "paper",
-        sanitize: Optional[bool] = None,
-        sanitize_strict: Optional[bool] = None,
+        ram_bytes: Optional[int] = _UNSET,
+        boot_key: bytes = _UNSET,
+        trace: bool = _UNSET,
+        label_cost_mode: str = _UNSET,
+        sanitize: Optional[bool] = _UNSET,
+        sanitize_strict: Optional[bool] = _UNSET,
+        *,
+        config: Optional[KernelConfig] = None,
     ):
-        if label_cost_mode not in ("paper", "fused"):
-            raise ValueError(f"unknown label_cost_mode: {label_cost_mode!r}")
+        legacy = {
+            key: value
+            for key, value in (
+                ("ram_bytes", ram_bytes),
+                ("boot_key", boot_key),
+                ("trace", trace),
+                ("label_cost_mode", label_cost_mode),
+                ("sanitize", sanitize),
+                ("sanitize_strict", sanitize_strict),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise ValueError(
+                    "pass options through config=KernelConfig(...), not "
+                    f"alongside it (got legacy keywords {sorted(legacy)})"
+                )
+            warnings.warn(
+                f"Kernel({', '.join(sorted(legacy))}=...) keywords are "
+                "deprecated; use Kernel(config=KernelConfig(...)) or "
+                "KernelConfig.from_env()",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            # from_env preserves the legacy semantics exactly: an explicit
+            # sanitize=None keeps deferring to REPRO_SANITIZE.
+            config = KernelConfig.from_env(**legacy)
+        elif config is None:
+            config = KernelConfig.from_env()
+        self.config = config
+
         #: "paper" bills label work as the 2005 implementation would pay it
         #: (linear scans with only the min/max short-circuits — reproduces
         #: Figure 9); "fused" bills the sparsity-aware operations actually
         #: executed (the future-work optimisation; see bench_label_ops).
-        self.label_cost_mode = label_cost_mode
+        self.label_cost_mode = config.label_cost_mode
         self.clock = CycleClock()
-        self.allocator = HandleAllocator(key=boot_key)
+        self.allocator = HandleAllocator(key=config.boot_key)
         self.accountant = (
-            PageAccountant(capacity_pages=ram_bytes // PAGE_SIZE)
-            if ram_bytes
+            PageAccountant(capacity_pages=config.ram_bytes // PAGE_SIZE)
+            if config.ram_bytes
             else PageAccountant()
         )
         self.scheduler = Scheduler()
@@ -124,7 +173,7 @@ class Kernel:
         self.processes: Dict[str, Process] = {}
         self.ports: Dict[Handle, Port] = {}
         self.label_stats = OpStats()
-        self.trace = trace
+        self.trace = config.trace
         self.debug_lines: List[str] = []
         #: Covert-channel mitigation hook (Section 8): called before each
         #: spawn; returning False denies process creation.
@@ -136,21 +185,60 @@ class Kernel:
         from repro.kernel.vnodes import VnodeTable
 
         self.vnodes = VnodeTable()
-        # Differential label sanitizer (repro.analysis): opt in per kernel
-        # via sanitize=True, or globally via REPRO_SANITIZE=1 (how a whole
-        # test suite is swept without touching call sites).
-        if sanitize is None:
-            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0", "false")
-        if sanitize_strict is None:
-            sanitize_strict = os.environ.get("REPRO_SANITIZE_STRICT", "1") not in (
-                "0",
-                "false",
+
+        # -- observability (repro.obs) -------------------------------------
+        # The hot paths guard every metric/span touch behind these two
+        # plain attribute checks, so a kernel with observability disabled
+        # pays (nearly) nothing.
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanRecorder
+
+        self.metrics = MetricsRegistry(enabled=config.metrics)
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(limit=config.span_limit) if config.spans else None
+        )
+        if self.spans is None:
+            # Skip the span-wrapping frame entirely on the hottest path:
+            # an instance binding shadows the wrapper method, so a kernel
+            # without span tracing resumes generators with zero extra
+            # frames per activation.
+            self._advance = self._advance_inner  # type: ignore[method-assign]
+        self._obs = config.metrics
+        ipc = self.metrics.scope("kernel.ipc")
+        self._m_sends = ipc.counter("sends")
+        self._m_injected = ipc.counter("injected")
+        self._m_enqueued = ipc.counter("enqueued")
+        self._m_delivered = ipc.counter("delivered")
+        self._m_drops = {
+            reason: ipc.counter(f"drops.{reason}")
+            for reason in (
+                DROP_LABEL_CHECK,
+                DROP_DECONT_PRIVILEGE,
+                DROP_PORT_LABEL,
+                DROP_DEAD_PORT,
+                DROP_QUEUE_LIMIT,
             )
+        }
+        labels = self.metrics.scope("kernel.labels")
+        self._m_label_fast = labels.counter("fast_path")
+        self._m_label_full = labels.counter("full_merges")
+        self._m_label_entries = labels.counter("entries_scanned")
+        sched = self.metrics.scope("kernel.sched")
+        self._m_steps = sched.counter("steps")
+        self._m_queue_depth = sched.histogram("queue_depth")
+        procs = self.metrics.scope("kernel.proc")
+        self._m_spawns = procs.counter("spawned")
+        self._m_ep_created = procs.counter("ep_created")
+        self._m_ep_switches = procs.counter("ep_switched")
+
+        # Differential label sanitizer (repro.analysis): opt in per kernel
+        # via KernelConfig(sanitize=True), or globally via REPRO_SANITIZE=1
+        # (how a whole test suite is swept without touching call sites).
         self.sanitizer = None
-        if sanitize:
+        if config.sanitize:
             from repro.analysis.sanitizer import LabelSanitizer
 
-            self.sanitizer = LabelSanitizer(self, strict=sanitize_strict)
+            self.sanitizer = LabelSanitizer(self, strict=config.sanitize_strict)
 
     # -- bootstrapping -----------------------------------------------------------
 
@@ -197,12 +285,16 @@ class Kernel:
         self.processes[process.key] = process
         self.clock.charge(OTHER, self.clock.cost.spawn)
         self.scheduler.enqueue(process.key)
+        if self._obs:
+            self._m_spawns.inc()
         return process
 
     def inject(self, port: Handle, payload: Any) -> bool:
         """Enqueue a message from *outside* the label system — the network
         wire.  Labels are the defaults of a maximally untainted sender, so
         the receiver is not contaminated and ordinary receive checks apply."""
+        if self._obs:
+            self._m_injected.inc()
         return self._enqueue(
             port=port,
             payload=payload,
@@ -231,6 +323,9 @@ class Kernel:
         if task is None or task.state == TaskState.EXITED:
             return
         self._steps += 1
+        if self._obs:
+            self._m_steps.inc()
+            self._m_queue_depth.observe(len(self.scheduler))
         if isinstance(task, Process) and task.state == TaskState.EP_REALM:
             self._step_ep_realm(task)
             return
@@ -250,6 +345,16 @@ class Kernel:
     def _advance(self, task: Task) -> None:
         """Resume *task*'s generator until it blocks, exits, or exhausts
         its inline budget (then it re-queues, preempted)."""
+        if self.spans is not None:
+            self.spans.begin("activate", task.name, self.clock.now)
+            try:
+                self._advance_inner(task)
+            finally:
+                self.spans.end("activate", task.name, self.clock.now)
+            return
+        self._advance_inner(task)
+
+    def _advance_inner(self, task: Task) -> None:
         budget = self.INLINE_SYSCALL_BUDGET
         while True:
             budget -= 1
@@ -370,15 +475,31 @@ class Kernel:
 
     # -- send ------------------------------------------------------------------------------
 
+    def _drop(self, reason: str, sender: str, where: str, seq: Optional[int] = None) -> None:
+        """Record a silent message drop: the out-of-band log, the metrics
+        counter, and the end of the message's span (if it had one)."""
+        self.drop_log.record(reason, sender, where)
+        if self._obs:
+            self._m_drops[reason].inc()
+        if self.spans is not None:
+            if seq is not None:
+                self.spans.async_end(
+                    "msg", seq, self.clock.now, delivered=False, reason=reason
+                )
+            else:
+                self.spans.instant("drop", sender, self.clock.now, reason=reason)
+
     def _sys_send(self, task: Task, request: sc.Send) -> bool:
         cost = self.clock.cost
         self.clock.charge(KERNEL_IPC, cost.send_base)
+        if self._obs:
+            self._m_sends.inc()
         stats = OpStats()
         ps = task.send_label
-        cs = self._user_label(request.contaminate, _BOTTOM)
-        ds = self._user_label(request.decontaminate_send, _TOP)
-        v = self._user_label(request.verify, _TOP)
-        dr = self._user_label(request.decontaminate_receive, _BOTTOM)
+        cs = self._user_label(request.cs, _BOTTOM)
+        ds = self._user_label(request.ds, _TOP)
+        v = self._user_label(request.v, _TOP)
+        dr = self._user_label(request.dr, _BOTTOM)
 
         # ES = PS ⊔ CS.  Contamination needs no privilege (Section 5.2).
         modeled = 0
@@ -409,7 +530,7 @@ class Kernel:
                     break
         self._charge_label_work(stats, modeled)
         if not ok:
-            self.drop_log.record(DROP_DECONT_PRIVILEGE, task.name, f"{request.port:#x}")
+            self._drop(DROP_DECONT_PRIVILEGE, task.name, f"{request.port:#x}")
             return True  # unreliable send: the sender cannot observe the drop
 
         # Transferred receive rights leave the sender immediately; they
@@ -449,7 +570,7 @@ class Kernel:
     ) -> bool:
         entry = self.ports.get(port)
         if entry is None or not entry.alive:
-            self.drop_log.record(DROP_DEAD_PORT, sender_name, f"{port:#x}")
+            self._drop(DROP_DEAD_PORT, sender_name, f"{port:#x}")
             self._kill_transferred(transfer)
             return True
         self._seq += 1
@@ -466,9 +587,19 @@ class Kernel:
             transfer=transfer,
         )
         if not entry.enqueue(qmsg):
-            self.drop_log.record(DROP_QUEUE_LIMIT, sender_name, f"{port:#x}")
+            self._drop(DROP_QUEUE_LIMIT, sender_name, f"{port:#x}")
             self._kill_transferred(transfer)
             return True
+        if self._obs:
+            self._m_enqueued.inc()
+        if self.spans is not None:
+            self.spans.async_begin(
+                "msg",
+                qmsg.seq,
+                self.clock.now,
+                sender=sender_name,
+                port=f"{port:#x}",
+            )
         owner = self.tasks.get(entry.owner)
         if owner is not None:
             owner.ready_ports.add(port)
@@ -536,7 +667,7 @@ class Kernel:
         # Requirement (4): DR ⊑ pR.
         if not qmsg.decontaminate_receive.leq(entry.label, stats):
             self._charge_label_work(stats, modeled)
-            self.drop_log.record(DROP_PORT_LABEL, qmsg.sender_name, task.name)
+            self._drop(DROP_PORT_LABEL, qmsg.sender_name, task.name, seq=qmsg.seq)
             self._kill_transferred(qmsg.transfer)
             return False
         # Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
@@ -549,7 +680,7 @@ class Kernel:
             stats,
         ):
             self._charge_label_work(stats, modeled)
-            self.drop_log.record(DROP_LABEL_CHECK, qmsg.sender_name, task.name)
+            self._drop(DROP_LABEL_CHECK, qmsg.sender_name, task.name, seq=qmsg.seq)
             self._kill_transferred(qmsg.transfer)
             return False
         if self.label_cost_mode == "paper":
@@ -580,6 +711,12 @@ class Kernel:
                 if vnode is not None:
                     vnode.owner = task.key
         self._charge_label_work(stats, modeled)
+        if self._obs:
+            self._m_delivered.inc()
+        if self.spans is not None:
+            self.spans.async_end(
+                "msg", qmsg.seq, self.clock.now, delivered=True, receiver=task.name
+            )
         return True
 
     def _charge_label_work(self, stats: OpStats, modeled_entries: int = 0) -> None:
@@ -605,6 +742,10 @@ class Kernel:
             cycles += cost.label_entry * stats.entries_scanned
         self.clock.charge(KERNEL_IPC, cycles)
         self.label_stats.merge(stats)
+        if self._obs:
+            self._m_label_fast.inc(stats.fast_path)
+            self._m_label_full.inc(stats.full_merges)
+            self._m_label_entries.inc(stats.entries_scanned)
 
     # -- recv --------------------------------------------------------------------------------
 
@@ -884,6 +1025,8 @@ class Kernel:
                 continue  # dropped; try the next head
             if self._try_deliver(ep, entry, qmsg):
                 self.clock.charge(OTHER, self.clock.cost.ep_switch)
+                if self._obs:
+                    self._m_ep_switches.inc()
                 self._touch_stack(ep)
                 # A cleaned EP dropped its message-queue page; receiving a
                 # message brings it back.
@@ -909,6 +1052,8 @@ class Kernel:
         if not self._try_deliver(ep, entry, qmsg):
             return False  # never existed
         self.clock.charge(OTHER, self.clock.cost.ep_create)
+        if self._obs:
+            self._m_ep_created.inc()
         self.tasks[ep.key] = ep
         process.event_processes[ep.key] = ep
         process.active_ep = ep.key

@@ -69,6 +69,18 @@ class Context:
     def log(self, message: str) -> None:
         self._kernel.debug_log(self._task.name, message)
 
+    def count(self, name: str, n: int = 1) -> None:
+        """Record an application-level event under the metric
+        ``app.<component>.<name>`` (no-op unless metrics are enabled).
+
+        Out-of-band like :meth:`log` — nothing a simulated program can
+        read back, so it cannot become a label-bypassing channel.
+        """
+        if self._kernel._obs:
+            self._kernel.metrics.counter(
+                f"app.{self._task.component}.{name}"
+            ).inc(n)
+
     @property
     def now(self) -> int:
         """Current virtual time in cycles (a CPU has a cycle counter; this

@@ -1,0 +1,528 @@
+"""The machine-readable benchmark harness: ``python -m repro bench``.
+
+Regenerates the paper's evaluation figures headlessly and writes one JSON
+document per figure at the repository root (or ``--out``):
+
+    BENCH_fig6.json       memory per cached/active session      (Figure 6)
+    BENCH_fig7.json       throughput vs cached sessions         (Figure 7)
+    BENCH_fig8.json       latency at concurrency 4              (Figure 8)
+    BENCH_fig9.json       component Kcycles/connection          (Figure 9)
+    BENCH_labelops.json   paper-mode vs fused label-op ablation  (§5.6/9.3)
+
+Every document follows the ``repro-bench/v1`` schema (see
+:data:`SCHEMA` and DESIGN.md §8): paper value, measured value and their
+ratio for each headline quantity, the raw series, and a full
+:func:`~repro.obs.metrics.kernel_snapshot` of an instrumented run so the
+perf trajectory of the *kernel internals* (label fast-path rate, drop
+counts, queue depths) is tracked alongside the headline numbers.
+
+``--quick`` shrinks the grids to CI scale (tens of seconds); the document
+records which grid produced it, so consumers never compare quick and full
+runs against each other.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.kernel.config import KernelConfig
+from repro.obs.metrics import kernel_snapshot
+
+#: Schema identifier stamped into (and required of) every document.
+SCHEMA = "repro-bench/v1"
+
+#: The figures this harness regenerates, in run order.
+FIGURES = ("fig6", "fig7", "fig8", "fig9", "labelops")
+
+#: Keys every document must carry; see :func:`validate`.
+REQUIRED_KEYS = ("schema", "figure", "title", "quick", "series", "comparisons")
+
+#: Keys every comparison row must carry.
+COMPARISON_KEYS = ("name", "paper", "measured", "ratio", "unit")
+
+
+# -- document assembly ---------------------------------------------------------------
+
+
+def _ratio(paper: Any, measured: Any) -> Optional[float]:
+    if isinstance(paper, (int, float)) and isinstance(measured, (int, float)) and paper:
+        return round(measured / paper, 4)
+    return None
+
+
+def comparison(name: str, paper: Any, measured: Any, unit: str = "") -> Dict[str, Any]:
+    """One paper-vs-measured row; ``ratio`` is measured/paper when both
+    are numeric (the number the perf trajectory tracks over time)."""
+    if isinstance(measured, float):
+        measured = round(measured, 4)
+    return {
+        "name": name,
+        "paper": paper,
+        "measured": measured,
+        "ratio": _ratio(paper, measured),
+        "unit": unit,
+    }
+
+
+def _document(
+    figure: str,
+    title: str,
+    quick: bool,
+    series: Dict[str, Any],
+    comparisons: List[Dict[str, Any]],
+    metrics: Optional[Dict[str, Any]],
+    meta: Dict[str, Any],
+) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA,
+        "figure": figure,
+        "title": title,
+        "quick": quick,
+        "series": series,
+        "comparisons": comparisons,
+        "metrics": metrics,
+        "meta": meta,
+    }
+
+
+def validate(doc: Dict[str, Any]) -> List[str]:
+    """Check *doc* against the ``repro-bench/v1`` schema; returns the list
+    of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"document is {type(doc).__name__}, not an object"]
+    for key in REQUIRED_KEYS:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if doc["schema"] != SCHEMA:
+        problems.append(f"schema is {doc['schema']!r}, expected {SCHEMA!r}")
+    if doc["figure"] not in FIGURES:
+        problems.append(f"unknown figure {doc['figure']!r}")
+    if not isinstance(doc["title"], str) or not doc["title"]:
+        problems.append("title must be a non-empty string")
+    if not isinstance(doc["quick"], bool):
+        problems.append("quick must be a boolean")
+    if not isinstance(doc["series"], dict):
+        problems.append("series must be an object")
+    else:
+        for name, ser in doc["series"].items():
+            if not isinstance(ser, dict) or "x" not in ser or "y" not in ser:
+                problems.append(f"series {name!r} must have x and y arrays")
+            elif len(ser["x"]) != len(ser["y"]):
+                problems.append(f"series {name!r}: len(x) != len(y)")
+    if not isinstance(doc["comparisons"], list) or not doc["comparisons"]:
+        problems.append("comparisons must be a non-empty array")
+    else:
+        for i, row in enumerate(doc["comparisons"]):
+            for key in COMPARISON_KEYS:
+                if not isinstance(row, dict) or key not in row:
+                    problems.append(f"comparisons[{i}] missing key {key!r}")
+    metrics = doc.get("metrics")
+    if metrics is not None and not isinstance(metrics, dict):
+        problems.append("metrics must be an object or null")
+    return problems
+
+
+def _series(xs: Iterable[Any], ys: Iterable[Any], unit: str = "") -> Dict[str, Any]:
+    return {"x": list(xs), "y": [round(y, 4) if isinstance(y, float) else y for y in ys], "unit": unit}
+
+
+# -- instrumented snapshot runs -------------------------------------------------------
+
+_OBS_CONFIG = KernelConfig(metrics=True, spans=True, span_limit=50_000)
+
+
+def _instrumented_echo_snapshot(n_users: int, rounds: int = 2) -> Dict[str, Any]:
+    """A small fully-instrumented echo-site run; returns its kernel
+    snapshot (metric counters, drop counts, label-op stats, memory)."""
+    from repro.sim.runner import build_echo_site
+    from repro.sim.workload import HttpClient
+
+    site = build_echo_site(n_users, config=_OBS_CONFIG)
+    client = HttpClient(site)
+    client.run_batch(
+        [
+            (f"u{i}", f"pw{i}", "echo", None, {"length": 11})
+            for _ in range(rounds)
+            for i in range(n_users)
+        ],
+        concurrency=16,
+    )
+    snap = kernel_snapshot(site.kernel)
+    snap["spans_recorded"] = len(site.kernel.spans)
+    return snap
+
+
+def _instrumented_cache_snapshot(n_users: int) -> Dict[str, Any]:
+    from repro.sim.runner import build_cache_site
+    from repro.sim.workload import HttpClient
+
+    site = build_cache_site(n_users, config=_OBS_CONFIG)
+    client = HttpClient(site)
+    client.run_batch(
+        [(f"u{i}", f"pw{i}", "cache", b"s" * 900, None) for i in range(n_users)],
+        concurrency=16,
+    )
+    snap = kernel_snapshot(site.kernel)
+    snap["spans_recorded"] = len(site.kernel.spans)
+    return snap
+
+
+# -- the figures ---------------------------------------------------------------------
+
+
+def _slope(points) -> float:
+    first, last = points[0], points[-1]
+    return (last.total_pages - first.total_pages) / (last.sessions - first.sessions)
+
+
+def run_fig6(quick: bool) -> Dict[str, Any]:
+    """Figure 6: memory used by cached and active web sessions."""
+    from repro.sim.runner import run_memory_experiment
+
+    grid = [0, 200, 400] if quick else [0, 1000, 3000]
+    grid_active = [100, 300] if quick else [500, 1500]
+    cached = run_memory_experiment(grid)
+    active = run_memory_experiment(grid_active, active=True)
+    cached_slope = _slope(cached)
+    active_slope = _slope(active)
+    return _document(
+        "fig6",
+        "Memory used by cached and active web sessions",
+        quick,
+        {
+            "cached_pages": _series(
+                [p.sessions for p in cached], [p.total_pages for p in cached], "pages"
+            ),
+            "active_pages": _series(
+                [p.sessions for p in active], [p.total_pages for p in active], "pages"
+            ),
+        },
+        [
+            comparison("pages per cached session", 1.5, cached_slope, "pages"),
+            comparison("pages per active session", 9.5, active_slope, "pages"),
+            comparison(
+                "extra pages per active session", 8.0, active_slope - cached_slope, "pages"
+            ),
+        ],
+        _instrumented_cache_snapshot(50 if quick else 200),
+        {"grid": grid, "grid_active": grid_active},
+    )
+
+
+def _sweep(quick: bool, label_cost_mode: str = "paper", config=None):
+    from repro.sim.runner import run_session_sweep
+
+    grid = [1, 100, 500] if quick else [1, 1000, 3000]
+    return grid, run_session_sweep(grid, label_cost_mode=label_cost_mode, config=config)
+
+
+def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
+    """Figure 7: throughput vs cached sessions, plus the observability
+    overhead measurement (disabled vs enabled wall time on point one)."""
+    from repro.baselines import ApacheCgiModel, ModApacheModel
+
+    if sweep is None:
+        grid, points = _sweep(quick)
+    else:
+        grid, points = sweep
+    apache = ApacheCgiModel().run(1000 if quick else 4000, concurrency=400)
+    mod_apache = ModApacheModel().run(1000 if quick else 4000, concurrency=16)
+
+    # Observability overhead: the same workload, obs disabled vs enabled,
+    # wall-clock.  Reported as a metric so regressions of the *enabled*
+    # path are visible too; the disabled path is guarded by the <3%
+    # acceptance bound against the pre-observability baseline.
+    from repro.sim.runner import run_session_sweep
+
+    probe = [grid[1] if len(grid) > 1 else grid[0]]
+    t0 = time.perf_counter()
+    run_session_sweep(probe)
+    disabled_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_session_sweep(probe, config=_OBS_CONFIG)
+    enabled_s = time.perf_counter() - t0
+
+    okws_1 = points[0].throughput
+    snapshot = _instrumented_echo_snapshot(50 if quick else 200)
+    snapshot["obs_overhead_ratio"] = round(enabled_s / disabled_s, 4)
+    snapshot["obs_disabled_seconds"] = round(disabled_s, 4)
+    snapshot["obs_enabled_seconds"] = round(enabled_s, 4)
+    return _document(
+        "fig7",
+        "Throughput for various numbers of cached sessions",
+        quick,
+        {
+            "okws_throughput": _series(
+                [p.sessions for p in points], [p.throughput for p in points], "conn/s"
+            ),
+        },
+        [
+            comparison(
+                "OKWS(1) / Mod-Apache", 0.55, okws_1 / mod_apache.throughput, "x"
+            ),
+            comparison(
+                "OKWS(1) / Apache (paper: better, i.e. > 1)",
+                1.0,
+                okws_1 / apache.throughput,
+                "x",
+            ),
+            comparison(
+                "throughput degrades monotonically",
+                True,
+                all(
+                    a.throughput >= b.throughput
+                    for a, b in zip(points, points[1:])
+                ),
+                "",
+            ),
+        ],
+        snapshot,
+        {
+            "grid": grid,
+            "apache_conn_s": round(apache.throughput, 1),
+            "mod_apache_conn_s": round(mod_apache.throughput, 1),
+        },
+    )
+
+
+def run_fig8(quick: bool) -> Dict[str, Any]:
+    """Figure 8: median and 90th-percentile latency at concurrency 4."""
+    from repro.baselines import ApacheCgiModel, ModApacheModel
+    from repro.sim.runner import run_latency_experiment
+    from repro.sim.stats import percentile
+
+    n = 150 if quick else 400
+    big = 200 if quick else 1000
+    rows: Dict[str, List[float]] = {
+        "Mod-Apache": ModApacheModel().run(n, concurrency=4).latencies_us,
+        "Apache": ApacheCgiModel().run(n, concurrency=4).latencies_us,
+        "OKWS, 1 session": run_latency_experiment(1, n_requests=n),
+        f"OKWS, {big} sessions": run_latency_experiment(
+            big, n_requests=min(n, 200)
+        ),
+    }
+    paper_medians = {"Mod-Apache": 999, "Apache": 3374, "OKWS, 1 session": 1875}
+    if not quick:
+        paper_medians["OKWS, 1000 sessions"] = 3414
+    comparisons = [
+        comparison(
+            f"median latency: {label}",
+            paper_medians.get(label, "n/a (reduced grid)"),
+            percentile(lats, 50),
+            "us",
+        )
+        for label, lats in rows.items()
+    ]
+    return _document(
+        "fig8",
+        "Request latency at a concurrency of four",
+        quick,
+        {
+            label: _series(
+                [50, 90], [percentile(lats, 50), percentile(lats, 90)], "us"
+            )
+            for label, lats in rows.items()
+        },
+        comparisons,
+        _instrumented_echo_snapshot(20 if quick else 100),
+        {"n_requests": n, "big_sessions": big, "series_x_axis": "percentile"},
+    )
+
+
+def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
+    """Figure 9: component cost breakdown and label growth per session."""
+    from repro.kernel.clock import CATEGORIES
+    from repro.sim.runner import build_echo_site
+    from repro.sim.workload import HttpClient
+
+    if sweep is None:
+        grid, points = _sweep(quick)
+    else:
+        grid, points = sweep
+
+    # Section 9.3's structural label-growth claims, on live kernel state.
+    n = 50 if quick else 200
+    site = build_echo_site(n, config=_OBS_CONFIG)
+    client = HttpClient(site)
+    client.run_batch(
+        [(f"u{i}", f"pw{i}", "echo", None, None) for i in range(n)], concurrency=16
+    )
+    procs = {p.name: p for p in site.kernel.processes.values()}
+    snapshot = kernel_snapshot(site.kernel)
+    snapshot["spans_recorded"] = len(site.kernel.spans)
+
+    series = {
+        f"kcycles_{category}": _series(
+            [p.sessions for p in points],
+            [p.components_kcycles.get(category, 0.0) for p in points],
+            "Kcycles/conn",
+        )
+        for category in CATEGORIES
+    }
+    series["kcycles_total"] = _series(
+        [p.sessions for p in points], [p.total_kcycles for p in points], "Kcycles/conn"
+    )
+    return _document(
+        "fig9",
+        "Average cost of Asbestos components per connection",
+        quick,
+        series,
+        [
+            comparison(
+                "idd send-label entries per user",
+                2.0,
+                len(procs["idd"].send_label) / n,
+                "entries",
+            ),
+            comparison(
+                "ok-dbproxy send-label entries per user",
+                2.0,
+                len(procs["ok-dbproxy"].send_label) / n,
+                "entries",
+            ),
+            comparison(
+                "netd receive-label entries per user",
+                1.0,
+                len(procs["netd"].receive_label) / n,
+                "entries",
+            ),
+            comparison(
+                "kernel IPC cost grows with sessions",
+                True,
+                points[-1].components_kcycles.get("Kernel IPC", 0)
+                > points[0].components_kcycles.get("Kernel IPC", 0),
+                "",
+            ),
+        ],
+        snapshot,
+        {"grid": grid, "label_growth_users": n},
+    )
+
+
+def run_labelops(quick: bool) -> Dict[str, Any]:
+    """The §5.6/§9.3 ablation: paper-mode label costs vs fused operations,
+    plus the fast-path/full-merge split from the instrumented counters."""
+    from repro.kernel.clock import KERNEL_IPC
+    from repro.sim.runner import run_session_sweep
+
+    grid = [50, 200] if quick else [100, 1000]
+    paper_mode = run_session_sweep(grid, label_cost_mode="paper")
+    fused_mode = run_session_sweep(grid, label_cost_mode="fused")
+    growth_paper = (
+        paper_mode[-1].components_kcycles[KERNEL_IPC]
+        - paper_mode[0].components_kcycles[KERNEL_IPC]
+    )
+    growth_fused = (
+        fused_mode[-1].components_kcycles[KERNEL_IPC]
+        - fused_mode[0].components_kcycles[KERNEL_IPC]
+    )
+    snapshot = _instrumented_echo_snapshot(50 if quick else 200)
+    label_ops = snapshot.get("label_ops", {})
+    fast = label_ops.get("fast_path", 0)
+    full = label_ops.get("full_merges", 0)
+    return _document(
+        "labelops",
+        "Label-operation costs: 2005 implementation vs fused operations",
+        quick,
+        {
+            "kernel_ipc_paper_mode": _series(
+                grid,
+                [p.components_kcycles[KERNEL_IPC] for p in paper_mode],
+                "Kcycles/conn",
+            ),
+            "kernel_ipc_fused_mode": _series(
+                grid,
+                [p.components_kcycles[KERNEL_IPC] for p in fused_mode],
+                "Kcycles/conn",
+            ),
+        },
+        [
+            comparison(
+                "fused/paper IPC growth (paper: well under half)",
+                0.5,
+                (growth_fused / growth_paper) if growth_paper else 0.0,
+                "x",
+            ),
+            comparison(
+                "label fast-path share of checked operations",
+                "n/a",
+                fast / (fast + full) if (fast + full) else 0.0,
+                "",
+            ),
+        ],
+        snapshot,
+        {"grid": grid, "fast_path": fast, "full_merges": full},
+    )
+
+
+# -- the runner ---------------------------------------------------------------------
+
+_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "labelops": run_labelops,
+}
+
+
+def run_bench(
+    out_dir: str = ".",
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+    echo: Callable[[str], None] = print,
+) -> List[str]:
+    """Run the selected figures and write ``BENCH_<figure>.json`` files.
+
+    Returns the list of paths written.  Raises ValueError if any produced
+    document fails its own schema validation (a bug, not an input error).
+    """
+    selected = list(only) if only else list(FIGURES)
+    for figure in selected:
+        if figure not in _RUNNERS:
+            raise ValueError(
+                f"unknown figure {figure!r}; choose from {', '.join(FIGURES)}"
+            )
+    # Figures 7 and 9 share the expensive session sweep.
+    sweep = None
+    if "fig7" in selected or "fig9" in selected:
+        echo(f"bench: running session sweep ({'quick' if quick else 'full'} grid)")
+        sweep = _sweep(quick)
+    paths: List[str] = []
+    for figure in selected:
+        echo(f"bench: {figure}")
+        runner = _RUNNERS[figure]
+        if figure in ("fig7", "fig9"):
+            doc = runner(quick, sweep=sweep)
+        else:
+            doc = runner(quick)
+        problems = validate(doc)
+        if problems:
+            raise ValueError(f"{figure} produced an invalid document: {problems}")
+        path = os.path.join(out_dir, f"BENCH_{figure}.json")
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+        echo(f"bench: wrote {path}")
+    return paths
+
+
+def validate_files(paths: List[str]) -> Dict[str, List[str]]:
+    """Validate existing BENCH_*.json files; returns {path: problems}."""
+    results: Dict[str, List[str]] = {}
+    for path in paths:
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            results[path] = [str(err)]
+            continue
+        results[path] = validate(doc)
+    return results

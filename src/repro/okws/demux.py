@@ -118,6 +118,7 @@ def demux_body(ctx):
 
         elif mtype == P.ACCEPT_R:  # netd: new connection, uC granted at ⋆
             ctx.compute(DEMUX_CYCLES + SESSION_TABLE_CYCLES_PER_ENTRY * len(sessions))
+            ctx.count("connects")
             conn = payload["conn"]
             conn_id = payload["conn_id"]
             pending[conn_id] = _PendingConn(conn=conn, conn_id=conn_id)
@@ -170,7 +171,7 @@ def demux_body(ctx):
             yield Send(
                 netd_port,
                 P.request("ADD_TAINT", conn=state.conn, taint=taint),
-                decontaminate_send=Label({taint: STAR}, L3),
+                ds=Label({taint: STAR}, L3),
             )
 
             connect = P.request(
@@ -186,31 +187,33 @@ def demux_body(ctx):
             session_port = sessions.get((uid, service))
             if session_port is not None:
                 # Step 6, repeat visit: straight to the event process.
+                ctx.count("session_reuse")
                 yield Send(
                     session_port,
                     connect,
-                    decontaminate_send=Label({state.conn: STAR}, L3),
-                    contaminate=Label({taint: L3}, STAR),
+                    ds=Label({state.conn: STAR}, L3),
+                    cs=Label({taint: L3}, STAR),
                 )
             elif declassifier:
                 # Section 7.6: grant uT ⋆ instead of contaminating.
                 yield Send(
                     wport,
                     connect,
-                    decontaminate_send=Label(
+                    ds=Label(
                         {state.conn: STAR, taint: STAR, grant: STAR}, L3
                     ),
-                    decontaminate_receive=Label({taint: L3}, STAR),
+                    dr=Label({taint: L3}, STAR),
                 )
             else:
                 # Step 6, first contact: fork a new event process with the
                 # taint, the grant handle, and a raised receive label.
+                ctx.count("session_new")
                 yield Send(
                     wport,
                     connect,
-                    decontaminate_send=Label({state.conn: STAR, grant: STAR}, L3),
-                    contaminate=Label({taint: L3}, STAR),
-                    decontaminate_receive=Label({taint: L3}, STAR),
+                    ds=Label({state.conn: STAR, grant: STAR}, L3),
+                    cs=Label({taint: L3}, STAR),
+                    dr=Label({taint: L3}, STAR),
                 )
             # The connection capability now belongs to the event process;
             # release our copy (Section 9.3).

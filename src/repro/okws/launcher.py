@@ -131,7 +131,7 @@ def launcher_body(ctx):
     idd_port = announce.payload["ports"]["idd_port"]
     # Grant idd the right to use the raw SQL interface.  The payload is
     # ignored by idd; the DS label on delivery is the grant.
-    yield Send(idd_port, P.request("GRANT"), decontaminate_send=Label({admin: STAR}, L3))
+    yield Send(idd_port, P.request("GRANT"), ds=Label({admin: STAR}, L3))
     # Tell dbproxy where to affirm bindings.
     yield Send(dbproxy_grant, P.request("SET_IDD", port=idd_port))
 
@@ -180,7 +180,7 @@ def launcher_body(ctx):
                 "dbproxy_port": dbproxy_port,
                 "cache_port": cache_port,
             },
-            decontaminate_send=Label({verify_handle: STAR}, L3),
+            ds=Label({verify_handle: STAR}, L3),
         )
 
     for config in services:

@@ -98,7 +98,7 @@ class DbClient:
         yield Send(
             self._dbproxy,
             P.request(P.QUERY, reply=self._chan.port, sql=sql, params=params, uid=self._uid),
-            decontaminate_send=self._grant_reply_port(),
+            ds=self._grant_reply_port(),
         )
         rows: List[Dict[str, Any]] = []
         while True:
@@ -129,8 +129,8 @@ class DbClient:
         yield Send(
             self._dbproxy,
             P.request(P.QUERY, reply=self._chan.port, sql=sql, params=params, uid=self._uid),
-            verify=verify,
-            decontaminate_send=self._grant_reply_port(),
+            v=verify,
+            ds=self._grant_reply_port(),
         )
         msg = yield Recv(port=self._chan.port)
         mtype = msg.payload.get("type")
@@ -173,8 +173,8 @@ class CacheClient:
         yield Send(
             self._cache,
             P.request("PUT", reply=self._chan.port, key=key, value=value, uid=self._uid),
-            verify=verify,
-            decontaminate_send=self._grant_reply_port(),
+            v=verify,
+            ds=self._grant_reply_port(),
         )
         msg = yield Recv(port=self._chan.port)
         if msg.payload.get("type") == P.ERROR_R:
@@ -187,8 +187,8 @@ class CacheClient:
         yield Send(
             self._cache,
             P.request("PUT", reply=self._chan.port, key=key, value=value, uid=self._uid),
-            verify=Label({self._taint: STAR}, L2),
-            decontaminate_send=self._grant_reply_port(),
+            v=Label({self._taint: STAR}, L2),
+            ds=self._grant_reply_port(),
         )
         msg = yield Recv(port=self._chan.port)
         if msg.payload.get("type") == P.ERROR_R:
@@ -207,7 +207,7 @@ class CacheClient:
                 uid=self._uid,
                 owner=self._uid if owner is None else owner,
             ),
-            decontaminate_send=self._grant_reply_port(),
+            ds=self._grant_reply_port(),
         )
         msg = yield Recv(port=self._chan.port)
         if msg.payload.get("type") == P.ERROR_R:
@@ -253,8 +253,8 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
         yield Send(
             demux_port,
             P.request(P.REGISTER, service=service, port=base_port),
-            verify=Label({verify_handle: L0}, L3),
-            decontaminate_send=Label({base_port: STAR}, L3),
+            v=Label({verify_handle: L0}, L3),
+            ds=Label({base_port: STAR}, L3),
         )
 
         def event_body(ectx, first_msg):
@@ -276,7 +276,7 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
                 P.request(
                     "SESSION", service=service, uid=uid, port=session_port
                 ),
-                decontaminate_send=Label({session_port: STAR}, L3),
+                ds=Label({session_port: STAR}, L3),
             )
             db = DbClient(dbproxy_port, ep_chan, uid, taint, grant)
             cache = (
@@ -296,7 +296,7 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
                 yield Send(
                     conn,
                     P.request(P.READ, reply=ep_chan.port),
-                    decontaminate_send=Label({ep_chan.port: STAR}, L3),
+                    ds=Label({ep_chan.port: STAR}, L3),
                 )
                 body_msg = yield Recv(port=ep_chan.port)
                 body = body_msg.payload.get("data")
@@ -323,6 +323,7 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
                     declassifier=declassifier,
                 )
                 ectx.compute(REQUEST_CYCLES)
+                ectx.count("requests")
                 response = yield from handler(ectx, request)
                 ectx.mem.store("session", session)
 

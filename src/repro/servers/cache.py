@@ -111,12 +111,13 @@ def cache_body(ctx):
             yield Send(
                 reply,
                 P.reply_to(payload, "PUT_R", ok=True, public=False),
-                contaminate=Label({taint: L3}, STAR),
+                cs=Label({taint: L3}, STAR),
             )
 
         elif mtype == "GET":
             owner = payload.get("owner", uid)
             if owner == PUBLIC:
+                ctx.count("hits" if (PUBLIC, key) in store else "misses")
                 yield Send(
                     reply,
                     P.reply_to(payload, "GET_R", value=store.get((PUBLIC, key)),
@@ -130,9 +131,10 @@ def cache_body(ctx):
             # The reply carries the *owner's* taint: if the asker may not
             # be contaminated with it, the kernel drops the reply and the
             # asker learns nothing — not even whether the entry exists.
+            ctx.count("hits" if (owner, key) in store else "misses")
             yield Send(
                 reply,
                 P.reply_to(payload, "GET_R", value=store.get((owner, key)),
                            hit=(owner, key) in store),
-                contaminate=Label({owner_taint: L3}, STAR),
+                cs=Label({owner_taint: L3}, STAR),
             )

@@ -100,6 +100,7 @@ def dbproxy_body(ctx):
 
     def charge(result) -> None:
         ctx.compute(QUERY_BASE_CYCLES + ROW_SCAN_CYCLES * result.rows_scanned)
+        ctx.count("queries")
 
     while True:
         msg = yield Recv()
@@ -248,7 +249,7 @@ def dbproxy_body(ctx):
             yield Send(
                 reply,
                 P.reply_to(payload, P.QUERY_R, rows_affected=result.rows_affected),
-                contaminate=None if declassified else Label({taint: L3}, STAR),
+                cs=None if declassified else Label({taint: L3}, STAR),
             )
             continue
 
@@ -281,7 +282,7 @@ def dbproxy_body(ctx):
             yield Send(
                 reply,
                 P.reply_to(payload, P.ROW_R, row=visible),
-                contaminate=Label({taint: L3}, STAR),
+                cs=Label({taint: L3}, STAR),
             )
         yield Send(reply, P.reply_to(payload, P.DONE_R))
 

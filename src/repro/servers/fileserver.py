@@ -99,7 +99,7 @@ def file_server_body(ctx):
                 yield Send(
                     reply,
                     P.reply_to(payload, P.READ_R, data=data),
-                    contaminate=_taint_label(meta["taint"]),
+                    cs=_taint_label(meta["taint"]),
                 )
 
         elif mtype == P.WRITE:

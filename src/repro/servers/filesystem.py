@@ -221,14 +221,14 @@ def filesystem_body(ctx):
                 yield Send(
                     reply,
                     P.reply_to(payload, P.READ_R, entries=visible),
-                    contaminate=taint_label(sorted(revealed)),
+                    cs=taint_label(sorted(revealed)),
                 )
             else:
                 data = ctx.mem.load(node.content_key) if node.content_key else b""
                 yield Send(
                     reply,
                     P.reply_to(payload, P.READ_R, data=data),
-                    contaminate=taint_label(node.effective_taints()),
+                    cs=taint_label(node.effective_taints()),
                 )
 
         elif mtype == P.WRITE:
@@ -271,7 +271,7 @@ def filesystem_body(ctx):
                     tainted=bool(node.effective_taints()),
                     guarded=bool(node.effective_grants()),
                 ),
-                contaminate=taint_label(node.effective_taints()),
+                cs=taint_label(node.effective_taints()),
             )
 
         elif mtype == "CLUNK":

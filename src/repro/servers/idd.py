@@ -90,13 +90,13 @@ def idd_body(ctx):
                     yield Send(
                         grant_port,
                         P.request("BIND", uid=uid, taint=taint, grant=grant),
-                        decontaminate_send=Label({taint: STAR, grant: STAR}, L3),
+                        ds=Label({taint: STAR, grant: STAR}, L3),
                     )
             if reply is not None:
                 yield Send(
                     reply,
                     P.reply_to(payload, P.LOGIN_R, ok=True, uid=uid, taint=taint, grant=grant),
-                    decontaminate_send=Label({taint: STAR, grant: STAR}, L3),
+                    ds=Label({taint: STAR, grant: STAR}, L3),
                 )
 
         elif mtype == "AFFIRM":

@@ -130,7 +130,7 @@ def netd_body(ctx):
                 yield Send(
                     notify,
                     P.request(P.ACCEPT_R, conn=conn_port, conn_id=conn_id),
-                    decontaminate_send=Label({conn_port: STAR}, L3),
+                    ds=Label({conn_port: STAR}, L3),
                 )
             elif mtype == "DATA":
                 ctx.compute(SEGMENT_CYCLES)
@@ -145,7 +145,7 @@ def netd_body(ctx):
                     yield Send(
                         read_req["reply"],
                         P.reply_to(read_req, P.READ_R, data=data),
-                        contaminate=taint_label(conn),
+                        cs=taint_label(conn),
                     )
             elif mtype == "CLOSE":
                 conn = conns.pop(conn_id, None)
@@ -189,12 +189,12 @@ def netd_body(ctx):
                     yield Send(
                         reply,
                         P.reply_to(payload, P.CONNECT_R, conn=client_port),
-                        decontaminate_send=Label({client_port: STAR}, L3),
+                        ds=Label({client_port: STAR}, L3),
                     )
                 yield Send(
                     notify,
                     P.request(P.ACCEPT_R, conn=server_port, conn_id=server_id),
-                    decontaminate_send=Label({server_port: STAR}, L3),
+                    ds=Label({server_port: STAR}, L3),
                 )
                 continue
             if mtype == P.LISTEN:
@@ -227,7 +227,7 @@ def netd_body(ctx):
                     yield Send(
                         payload["reply"],
                         P.reply_to(payload, "ADD_TAINT_R", ok=True),
-                        contaminate=taint_label(conn),
+                        cs=taint_label(conn),
                     )
             continue
 
@@ -242,7 +242,7 @@ def netd_body(ctx):
                 yield Send(
                     payload["reply"],
                     P.reply_to(payload, data=data),
-                    contaminate=taint_label(conn),
+                    cs=taint_label(conn),
                 )
             else:
                 conn.pending_reads.append(payload)
@@ -257,7 +257,7 @@ def netd_body(ctx):
                         yield Send(
                             read_req["reply"],
                             P.reply_to(read_req, P.READ_R, data=peer.inbuf.pop(0)),
-                            contaminate=taint_label(peer),
+                            cs=taint_label(peer),
                         )
             else:
                 wire.deliver(conn.conn_id, payload.get("data"), now=ctx.now)
@@ -265,13 +265,13 @@ def netd_body(ctx):
                 yield Send(
                     payload["reply"],
                     P.reply_to(payload, n=len(str(payload.get("data")))),
-                    contaminate=taint_label(conn),
+                    cs=taint_label(conn),
                 )
         elif mtype == P.SELECT:
             yield Send(
                 payload["reply"],
                 P.reply_to(payload, space=65536),
-                contaminate=taint_label(conn),
+                cs=taint_label(conn),
             )
         elif mtype == P.CONTROL:
             if payload.get("op") == "close":
@@ -286,5 +286,5 @@ def netd_body(ctx):
                 yield Send(
                     payload["reply"],
                     P.reply_to(payload, ok=True),
-                    contaminate=taint_label(conn),
+                    cs=taint_label(conn),
                 )

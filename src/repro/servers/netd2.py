@@ -63,7 +63,7 @@ def backend_body(ctx):
     yield Send(
         ctx.env["front_port"],
         P.request("BACKEND_READY", port=base_port),
-        decontaminate_send=Label({base_port: STAR}, L3),
+        ds=Label({base_port: STAR}, L3),
     )
 
     def event_body(ectx, first_msg):
@@ -77,7 +77,7 @@ def backend_body(ctx):
         yield Send(
             ectx.env["front_port"],
             P.request("ACCEPT_UP", conn_id=conn_id, conn=conn_port),
-            decontaminate_send=Label({conn_port: STAR}, L3),
+            ds=Label({conn_port: STAR}, L3),
         )
         inbuf: List[Any] = []
         pending_reads: List[Dict[str, Any]] = []
@@ -116,7 +116,7 @@ def backend_body(ctx):
                 yield Send(
                     wire_out,
                     P.request("EGRESS", conn_id=conn_id, data=payload.get("data")),
-                    verify=proof,
+                    v=proof,
                 )
                 if payload.get("reply") is not None:
                     yield Send(payload["reply"], P.reply_to(payload, n=1))
@@ -133,7 +133,7 @@ def backend_body(ctx):
                     yield Send(
                         wire_out,
                         P.request("CLOSE_UP", conn_id=conn_id),
-                        verify=proof,
+                        v=proof,
                     )
                 yield EpExit()
             msg = yield EpYield()
@@ -204,7 +204,7 @@ def netd2_front_body(ctx):
                 yield Send(
                     port,
                     {"type": "DATA", "data": payload.get("data")},
-                    contaminate=Label({t: L3 for t in taints}, STAR) if taints else None,
+                    cs=Label({t: L3 for t in taints}, STAR) if taints else None,
                 )
             elif mtype == "CLOSE":
                 port = conn_ports.pop(conn_id, None)
@@ -228,7 +228,7 @@ def netd2_front_body(ctx):
                 yield Send(
                     notify,
                     P.request(P.ACCEPT_R, conn=conn, conn_id=conn_id),
-                    decontaminate_send=Label({conn: STAR}, L3),
+                    ds=Label({conn: STAR}, L3),
                 )
                 # Flush segments that raced ahead of the accept.
                 for data in pending_data.pop(conn_id, []):
@@ -281,6 +281,6 @@ def netd2_front_body(ctx):
                 yield Send(
                     conn,
                     {"type": "TAINT", "taint": taint, "reply": payload.get("reply")},
-                    contaminate=Label({taint: L3}, STAR),
-                    decontaminate_receive=Label({taint: L3}, STAR),
+                    cs=Label({taint: L3}, STAR),
+                    dr=Label({taint: L3}, STAR),
                 )

@@ -18,9 +18,10 @@ rows/series and the tests can assert on shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.kernel.clock import CPU_HZ
+from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.memory import PAGE_SIZE
 from repro.okws.launcher import OkwsSite, ServiceConfig, launch
@@ -32,9 +33,19 @@ def _users(n: int) -> List[Tuple[str, str]]:
     return [(f"u{i}", f"pw{i}") for i in range(n)]
 
 
-def build_echo_site(n_users: int, label_cost_mode: str = "paper") -> OkwsSite:
-    """An OKWS instance running the Section 9.2 echo service."""
-    kernel = Kernel(label_cost_mode=label_cost_mode)
+def build_echo_site(
+    n_users: int,
+    label_cost_mode: str = "paper",
+    config: Optional[KernelConfig] = None,
+) -> OkwsSite:
+    """An OKWS instance running the Section 9.2 echo service.
+
+    Pass *config* to control every kernel option (observability included);
+    *label_cost_mode* is honoured only when *config* is not given.
+    """
+    if config is None:
+        config = KernelConfig.from_env(label_cost_mode=label_cost_mode)
+    kernel = Kernel(config=config)
     return launch(
         kernel=kernel,
         services=[ServiceConfig("echo", echo_handler)],
@@ -42,9 +53,15 @@ def build_echo_site(n_users: int, label_cost_mode: str = "paper") -> OkwsSite:
     )
 
 
-def build_cache_site(n_users: int, no_clean: bool = False) -> OkwsSite:
+def build_cache_site(
+    n_users: int,
+    no_clean: bool = False,
+    config: Optional[KernelConfig] = None,
+) -> OkwsSite:
     """An OKWS instance running the Section 9.1 session-cache service."""
+    kernel = Kernel(config=config) if config is not None else None
     return launch(
+        kernel=kernel,
         services=[ServiceConfig("cache", session_cache_handler, no_clean=no_clean)],
         users=_users(n_users),
     )
@@ -66,6 +83,7 @@ def run_memory_experiment(
     session_counts: List[int],
     active: bool = False,
     concurrency: int = 16,
+    config: Optional[KernelConfig] = None,
 ) -> List[MemoryPoint]:
     """Create N sessions (one connection each) and measure total memory.
 
@@ -76,7 +94,7 @@ def run_memory_experiment(
     """
     points: List[MemoryPoint] = []
     for count in session_counts:
-        site = build_cache_site(max(count, 1), no_clean=active)
+        site = build_cache_site(max(count, 1), no_clean=active, config=config)
         client = HttpClient(site)
         baseline = site.kernel.memory_report()
         requests = [
@@ -124,6 +142,7 @@ def run_session_sweep(
     concurrency: int = 16,
     min_connections: int = 64,
     label_cost_mode: str = "paper",
+    config: Optional[KernelConfig] = None,
 ) -> List[SweepPoint]:
     """The Section 9.2.1 throughput experiment.
 
@@ -136,7 +155,7 @@ def run_session_sweep(
     """
     points: List[SweepPoint] = []
     for count in session_counts:
-        site = build_echo_site(count, label_cost_mode=label_cost_mode)
+        site = build_echo_site(count, label_cost_mode=label_cost_mode, config=config)
         client = HttpClient(site)
         effective_rounds = max(rounds, -(-min_connections // count))
         requests = [
@@ -176,10 +195,11 @@ def run_latency_experiment(
     sessions: int,
     n_requests: int = 400,
     concurrency: int = 4,
+    config: Optional[KernelConfig] = None,
 ) -> List[float]:
     """Per-request latencies for OKWS with *sessions* cached sessions, at
     the paper's measurement concurrency of four."""
-    site = build_echo_site(max(sessions, 1))
+    site = build_echo_site(max(sessions, 1), config=config)
     client = HttpClient(site)
     # Pre-create the cached sessions.
     warmup = [(f"u{i}", f"pw{i}", "echo", None, None) for i in range(sessions)]

@@ -115,6 +115,28 @@ class FlowTracer:
 
     # -- rendering ----------------------------------------------------------------------
 
+    def chrome_trace(self) -> dict:
+        """The kernel's span recording as a Chrome ``trace_event`` document
+        (JSON-ready dict), with the tracer's symbolic handle names attached
+        to message spans as ``port_name``.
+
+        Requires a kernel constructed with ``KernelConfig(spans=True)``.
+        """
+        spans = getattr(self.kernel, "spans", None)
+        if spans is None:
+            raise ValueError(
+                "kernel records no spans; construct it with "
+                "Kernel(config=KernelConfig(spans=True))"
+            )
+        doc = spans.to_chrome(now_cycles=self.kernel.clock.now)
+        by_hex = {f"{handle:#x}": name for handle, name in self.names.items()}
+        for event in doc["traceEvents"]:
+            port = event.get("args", {}).get("port")
+            name = by_hex.get(port)
+            if name is not None:
+                event["args"] = dict(event["args"], port_name=name)
+        return doc
+
     def _fmt(self, label: Label) -> str:
         return label.format(self.names)
 

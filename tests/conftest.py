@@ -9,6 +9,7 @@ import pytest
 from repro.core.handles import HandleAllocator
 from repro.core.labels import Label
 from repro.core.levels import ALL_LEVELS
+from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
 
 
@@ -16,7 +17,7 @@ from repro.kernel.kernel import Kernel
 def kernel():
     """A fresh simulated machine with tracing on (program crashes become
     test failures instead of silent process exits)."""
-    return Kernel(trace=True)
+    return Kernel(config=KernelConfig(trace=True))
 
 
 @pytest.fixture

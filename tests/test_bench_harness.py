@@ -1,0 +1,90 @@
+"""The ``python -m repro bench`` harness: schema validation and a real
+(tiny) end-to-end document write."""
+
+import json
+
+import pytest
+
+from repro.obs import bench
+
+
+def _minimal_doc():
+    return {
+        "schema": bench.SCHEMA,
+        "figure": "fig6",
+        "title": "t",
+        "quick": True,
+        "series": {"s": {"x": [1, 2], "y": [3, 4], "unit": "u"}},
+        "comparisons": [
+            {"name": "n", "paper": 1.0, "measured": 2.0, "ratio": 2.0, "unit": "x"}
+        ],
+        "metrics": None,
+        "meta": {},
+    }
+
+
+def test_validate_accepts_minimal():
+    assert bench.validate(_minimal_doc()) == []
+
+
+@pytest.mark.parametrize(
+    "mutate",
+    [
+        lambda d: d.pop("schema"),
+        lambda d: d.update(schema="repro-bench/v0"),
+        lambda d: d.update(figure="fig99"),
+        lambda d: d.update(title=""),
+        lambda d: d.update(quick="yes"),
+        lambda d: d.update(series={"s": {"x": [1], "y": [1, 2]}}),
+        lambda d: d.update(comparisons=[]),
+        lambda d: d.update(comparisons=[{"name": "n"}]),
+        lambda d: d.update(metrics=7),
+    ],
+)
+def test_validate_rejects_malformed(mutate):
+    doc = _minimal_doc()
+    mutate(doc)
+    assert bench.validate(doc)
+
+
+def test_comparison_ratio():
+    row = bench.comparison("x", 2.0, 3.0, "u")
+    assert row["ratio"] == 1.5
+    assert bench.comparison("x", "n/a", 3.0)["ratio"] is None
+    assert bench.comparison("x", 0, 3.0)["ratio"] is None
+    assert bench.comparison("ok", True, True)["ratio"] == 1.0
+
+
+def test_run_bench_unknown_figure(tmp_path):
+    with pytest.raises(ValueError):
+        bench.run_bench(out_dir=str(tmp_path), quick=True, only=["fig99"])
+
+
+def test_run_bench_writes_valid_fig6(tmp_path):
+    paths = bench.run_bench(
+        out_dir=str(tmp_path), quick=True, only=["fig6"], echo=lambda _: None
+    )
+    assert len(paths) == 1
+    with open(paths[0]) as fh:
+        doc = json.load(fh)
+    assert bench.validate(doc) == []
+    assert doc["figure"] == "fig6"
+    assert doc["quick"] is True
+    # The instrumented snapshot rode along and has the counters wired
+    # through the kernel hot paths.
+    metrics = doc["metrics"]
+    assert metrics["metrics"]["kernel.ipc.sends"] > 0
+    assert metrics["label_ops"]["fast_path"] > 0
+    assert metrics["spans_recorded"] > 0
+    # Slopes landed in the calibrated bands (same claim bench_fig6 makes).
+    by_name = {row["name"]: row for row in doc["comparisons"]}
+    assert 1.2 <= by_name["pages per cached session"]["measured"] <= 1.8
+    # validate_files agrees with validate.
+    assert bench.validate_files(paths) == {paths[0]: []}
+
+
+def test_validate_files_reports_bad_json(tmp_path):
+    bad = tmp_path / "BENCH_broken.json"
+    bad.write_text("{not json")
+    results = bench.validate_files([str(bad)])
+    assert results[str(bad)]

@@ -1,0 +1,101 @@
+"""KernelConfig: validation, env precedence, and the legacy-kwarg shim."""
+
+import pytest
+
+from repro.kernel import Kernel, KernelConfig
+
+
+def test_defaults():
+    config = KernelConfig()
+    assert config.ram_bytes is None
+    assert config.trace is False
+    assert config.label_cost_mode == "paper"
+    assert config.sanitize is False
+    assert config.sanitize_strict is True
+    assert config.metrics is False
+    assert config.spans is False
+
+
+def test_frozen():
+    config = KernelConfig()
+    with pytest.raises(Exception):
+        config.trace = True
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        KernelConfig(label_cost_mode="imaginary")
+    with pytest.raises(ValueError):
+        KernelConfig(ram_bytes=-1)
+    with pytest.raises(ValueError):
+        KernelConfig(span_limit=0)
+
+
+def test_replace():
+    config = KernelConfig().replace(metrics=True)
+    assert config.metrics is True
+    assert config.trace is False
+
+
+def test_from_env_reads_environment():
+    env = {
+        "REPRO_SANITIZE": "1",
+        "REPRO_SANITIZE_STRICT": "0",
+        "REPRO_TRACE": "yes",
+        "REPRO_METRICS": "1",
+        "REPRO_SPANS": "on",
+        "REPRO_LABEL_COST_MODE": "fused",
+        "REPRO_RAM_BYTES": "4096",
+    }
+    config = KernelConfig.from_env(env=env)
+    assert config.sanitize is True
+    assert config.sanitize_strict is False
+    assert config.trace is True
+    assert config.metrics is True
+    assert config.spans is True
+    assert config.label_cost_mode == "fused"
+    assert config.ram_bytes == 4096
+
+
+def test_from_env_falsy_values():
+    env = {"REPRO_SANITIZE": "0", "REPRO_TRACE": "false", "REPRO_METRICS": "off"}
+    config = KernelConfig.from_env(env=env)
+    assert config.sanitize is False
+    assert config.trace is False
+    assert config.metrics is False
+
+
+def test_from_env_overrides_beat_environment():
+    env = {"REPRO_TRACE": "1", "REPRO_LABEL_COST_MODE": "fused"}
+    config = KernelConfig.from_env(env=env, trace=False, label_cost_mode="paper")
+    assert config.trace is False
+    assert config.label_cost_mode == "paper"
+
+
+def test_from_env_none_override_means_unset():
+    # The legacy Kernel(sanitize=None) contract: None consults the env.
+    env = {"REPRO_SANITIZE": "1"}
+    config = KernelConfig.from_env(env=env, sanitize=None)
+    assert config.sanitize is True
+
+
+def test_legacy_kwargs_warn_and_work():
+    with pytest.warns(DeprecationWarning):
+        kernel = Kernel(trace=True, sanitize=True)
+    assert kernel.trace is True
+    assert kernel.config.sanitize is True
+    assert kernel.sanitizer is not None
+
+
+def test_legacy_kwargs_conflict_with_config():
+    with pytest.raises(ValueError):
+        Kernel(trace=True, config=KernelConfig())
+
+
+def test_config_drives_kernel():
+    kernel = Kernel(config=KernelConfig(metrics=True, spans=True))
+    assert kernel.metrics.enabled
+    assert kernel.spans is not None
+    plain = Kernel(config=KernelConfig())
+    assert not plain.metrics.enabled
+    assert plain.spans is None

@@ -12,6 +12,7 @@ from repro.kernel import (
     EpYield,
     GetEnv,
     Kernel,
+    KernelConfig,
     NewPort,
     Recv,
     Send,
@@ -137,7 +138,7 @@ def test_exit_notification_delivered(kernel):
 
 
 def test_exit_notification_marks_crashes():
-    kernel = Kernel(trace=False)
+    kernel = Kernel(config=KernelConfig(trace=False))
     obituaries = []
 
     def supervisor(ctx):

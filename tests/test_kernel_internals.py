@@ -5,7 +5,16 @@ import pytest
 
 from repro.core.chunks import ChunkedLabel
 from repro.core.labels import Label
-from repro.kernel import EpCheckpoint, EpYield, Kernel, NewHandle, NewPort, Recv, SetPortLabel
+from repro.kernel import (
+    EpCheckpoint,
+    EpYield,
+    Kernel,
+    KernelConfig,
+    NewHandle,
+    NewPort,
+    Recv,
+    SetPortLabel,
+)
 from repro.kernel.clock import CostModel, CycleClock, KERNEL_IPC, NETWORK
 from repro.kernel.message import QueuedMessage
 from repro.kernel.ports import Port
@@ -176,7 +185,7 @@ def test_memory_report_counts_eps(kernel):
 
 
 def test_ram_cap_enforced_by_kernel():
-    kernel = Kernel(ram_bytes=64 * 4096, trace=True)
+    kernel = Kernel(config=KernelConfig(ram_bytes=64 * 4096, trace=True))
     crashed = []
 
     def hog(ctx):

@@ -9,6 +9,7 @@ from repro.kernel import (
     Exit,
     GetEnv,
     Kernel,
+    KernelConfig,
     NewPort,
     Recv,
     Send,
@@ -237,7 +238,7 @@ def test_exit_frees_resources(kernel):
 
 
 def test_crashing_process_is_reaped():
-    kernel = Kernel(trace=False)  # trace=True would re-raise
+    kernel = Kernel(config=KernelConfig(trace=False))  # trace=True would re-raise
 
     def prog(ctx):
         yield NewPort()

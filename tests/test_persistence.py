@@ -85,10 +85,11 @@ def test_isolation_persists_across_reboot():
     assert any(row.get("_user_id") for row in disk["notes"])  # ownership on disk
 
     # ---- boot 2: fresh kernel, fresh handles, restored disk ----
+    from repro.kernel.config import KernelConfig
     from repro.kernel.kernel import Kernel
 
     boot2 = launch(
-        kernel=Kernel(boot_key=b"second-boot"),  # a reboot reseeds the cipher
+        kernel=Kernel(config=KernelConfig(boot_key=b"second-boot")),  # a reboot reseeds the cipher
         services=SERVICES,
         users=USERS,
         schema=SCHEMA,

@@ -20,6 +20,7 @@ from repro.analysis.sanitizer import (
 from repro.core import labelops
 from repro.core.labels import Label
 from repro.core.levels import ALL_LEVELS, L2, L3, STAR
+from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
 from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel
 
@@ -38,7 +39,7 @@ labels = st.builds(
 @settings(max_examples=60, deadline=None)
 def test_random_labels_fused_agrees_with_naive(cs, ds, v, dr, port_label):
     # Strict mode: any fused/naive disagreement raises out of kernel.run().
-    kernel = Kernel(sanitize=True)
+    kernel = Kernel(config=KernelConfig(sanitize=True))
 
     def body(ctx):
         port = yield NewPort()
@@ -104,7 +105,7 @@ def _violation_kinds(kernel: Kernel):
 
 def test_corrupted_check_send_false_is_flagged(monkeypatch):
     monkeypatch.setattr(labelops, "check_send", lambda *args: False)
-    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    kernel = Kernel(config=KernelConfig(sanitize=True, sanitize_strict=False))
 
     def sender(ctx):
         yield Send(ctx.env["box"]["port"], {"x": 1})
@@ -117,7 +118,7 @@ def test_corrupted_check_send_true_is_flagged(monkeypatch):
     # The fused path waves through a send the Figure 4 check must drop
     # (contamination at 3 exceeds the default receive clearance 2).
     monkeypatch.setattr(labelops, "check_send", lambda *args: True)
-    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    kernel = Kernel(config=KernelConfig(sanitize=True, sanitize_strict=False))
 
     def sender(ctx):
         h = yield NewHandle()
@@ -133,7 +134,7 @@ def test_corrupted_send_effects_is_flagged(monkeypatch):
     monkeypatch.setattr(
         labelops, "apply_send_effects", lambda qs, es, ds, stats=None: qs
     )
-    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    kernel = Kernel(config=KernelConfig(sanitize=True, sanitize_strict=False))
 
     def sender(ctx):
         h = yield NewHandle()
@@ -147,7 +148,7 @@ def test_corrupted_raise_receive_is_flagged(monkeypatch):
     # QR ← QR ⊔ DR replaced by the identity: a granted receive-clearance
     # raise is silently lost.
     monkeypatch.setattr(labelops, "raise_receive", lambda qr, dr, stats=None: qr)
-    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    kernel = Kernel(config=KernelConfig(sanitize=True, sanitize_strict=False))
 
     def sender(ctx):
         h = yield NewHandle()
@@ -161,7 +162,7 @@ def test_corrupted_raise_receive_is_flagged(monkeypatch):
 
 def test_strict_mode_raises_on_corruption(monkeypatch):
     monkeypatch.setattr(labelops, "check_send", lambda *args: False)
-    kernel = Kernel(sanitize=True)  # strict by default
+    kernel = Kernel(config=KernelConfig(sanitize=True))  # strict by default
 
     def sender(ctx):
         yield Send(ctx.env["box"]["port"], {"x": 1})
@@ -186,7 +187,7 @@ def test_flow_tracer_carries_violations(monkeypatch):
     from repro.sim.trace import FlowTracer
 
     monkeypatch.setattr(labelops, "check_send", lambda *args: False)
-    kernel = Kernel(sanitize=True, sanitize_strict=False)
+    kernel = Kernel(config=KernelConfig(sanitize=True, sanitize_strict=False))
     tracer = FlowTracer(kernel)
 
     def sender(ctx):
