@@ -1,0 +1,134 @@
+"""Regenerate the example topology documents in this directory.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/topologies/generate.py
+
+``leaky_site.json`` is the deliberately broken four-process site used in
+README and the test suite: a user worker's taint reaches another user's
+worker through an over-permissive front end, so the embedded battery
+yields an isolation violation with a two-message counterexample (which
+``repro.analysis.replay`` re-executes on the real kernel), a
+mandatory-declassifier violation, and a dead edge.  ``clean_site.json``
+is the same site with the sink's receive label left at the default — the
+kernel then drops the tainted forward, and every policy proves out.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.model import Topology
+
+HERE = Path(__file__).resolve().parent
+
+
+def leaky_site() -> Topology:
+    topo = Topology(name="leaky-site")
+    # worker_u carries user u's taint at 3 and may send to the front end
+    # and the declassifier (it holds their port handles at *).
+    topo.add_process(
+        "worker_u",
+        send=topo.label({"uT:u": 3, "front_port": "*", "decl_port": "*"}),
+    )
+    # The front end accepts the taint (receive raised to uT:u 3) and can
+    # forward to the sink — the over-permissive hop that leaks.
+    topo.add_process(
+        "web_front",
+        send=topo.label({"sink_port": "*"}),
+        receive=topo.label({"uT:u": 3}, default=2),
+    )
+    # sink_v is another user's worker; its receive label also accepts
+    # uT:u at 3, which is the bug the isolation policy catches.
+    topo.add_process("sink_v", receive=topo.label({"uT:u": 3}, default=2))
+    # The declassifier holds uT:u at * — the one legitimate path.
+    topo.add_process(
+        "decl",
+        send=topo.label({"uT:u": "*", "sink_port": "*"}),
+        receive=topo.label({"uT:u": 3}, default=2),
+    )
+    # vault's port keeps new_port's closed {p 0}; nobody holds the
+    # handle, so sends to it are dead wiring.
+    topo.add_process("vault")
+
+    topo.add_port("front_port", owner="web_front")
+    topo.add_port("sink_port", owner="sink_v")
+    topo.add_port("decl_port", owner="decl")
+    topo.add_port("locked_port", owner="vault")
+
+    topo.add_edge("worker_u", "front_port", name="worker_u->front")
+    topo.add_edge("web_front", "sink_port", name="front->sink")
+    topo.add_edge("worker_u", "decl_port", name="worker_u->decl")
+    topo.add_edge(
+        "decl", "sink_port", name="decl->sink", declassifier=True
+    )
+    topo.add_edge("worker_u", "locked_port", name="worker_u->locked")
+
+    topo.policies = [
+        {"kind": "isolation", "process": "sink_v", "handle": "uT:u"},
+        {"kind": "capability-confinement", "handle": "uT:u", "allowed": ["decl"]},
+        {"kind": "mandatory-declassifier", "handle": "uT:u", "sink": "sink_v"},
+        {"kind": "dead-edge", "edges": ["worker_u->locked"]},
+    ]
+    return topo
+
+
+def clean_site() -> Topology:
+    topo = Topology(name="clean-site")
+    topo.add_process(
+        "worker_u",
+        send=topo.label({"uT:u": 3, "front_port": "*", "decl_port": "*"}),
+    )
+    topo.add_process(
+        "web_front",
+        send=topo.label({"sink_port": "*"}),
+        receive=topo.label({"uT:u": 3}, default=2),
+    )
+    # The fix: sink_v keeps the default receive label {2}, so the kernel
+    # drops any forward carrying uT:u at 3.
+    topo.add_process("sink_v")
+    topo.add_process(
+        "decl",
+        send=topo.label({"uT:u": "*", "sink_port": "*"}),
+        receive=topo.label({"uT:u": 3}, default=2),
+    )
+
+    topo.add_port("front_port", owner="web_front")
+    topo.add_port("sink_port", owner="sink_v")
+    topo.add_port("decl_port", owner="decl")
+
+    topo.add_edge("worker_u", "front_port", name="worker_u->front")
+    topo.add_edge("web_front", "sink_port", name="front->sink")
+    topo.add_edge("worker_u", "decl_port", name="worker_u->decl")
+    topo.add_edge(
+        "decl", "sink_port", name="decl->sink", declassifier=True
+    )
+
+    topo.policies = [
+        {"kind": "isolation", "process": "sink_v", "handle": "uT:u"},
+        {"kind": "capability-confinement", "handle": "uT:u", "allowed": ["decl"]},
+        {"kind": "mandatory-declassifier", "handle": "uT:u", "sink": "sink_v"},
+        {
+            "kind": "dead-edge",
+            "edges": [
+                "worker_u->front",
+                "front->sink",
+                "worker_u->decl",
+                "decl->sink",
+            ],
+        },
+    ]
+    return topo
+
+
+def main() -> None:
+    for topo, filename in (
+        (leaky_site(), "leaky_site.json"),
+        (clean_site(), "clean_site.json"),
+    ):
+        (HERE / filename).write_text(topo.dumps() + "\n", encoding="utf-8")
+        print(f"wrote {HERE / filename}")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,6 +55,8 @@ __all__ = [
     "run_latency_experiment",
     "run_bench",
     "analyze_paths",
+    "run_check",
+    "record_okws_topology",
     "__version__",
 ]
 
@@ -68,6 +70,8 @@ _LAZY = {
     "run_latency_experiment": ("repro.sim.runner", "run_latency_experiment"),
     "run_bench": ("repro.obs.bench", "run_bench"),
     "analyze_paths": ("repro.analysis.asblint", "analyze_paths"),
+    "run_check": ("repro.analysis.check", "run_check"),
+    "record_okws_topology": ("repro.okws.topology", "record_okws_topology"),
 }
 
 

@@ -1,17 +1,25 @@
 """Static and dynamic correctness tooling for the label system.
 
-Two cooperating layers:
+Three cooperating layers:
 
 - :mod:`repro.analysis.asblint` + :mod:`repro.analysis.astflow`: the
   **asblint** static pass — abstract interpretation of simulated-program
   generators over label intervals, reporting provable Figure 4 violations
   before any code runs;
+- :mod:`repro.analysis.check` + :mod:`repro.analysis.model` +
+  :mod:`repro.analysis.extract`: the **asbcheck** whole-system model
+  checker — exhaustive exploration of a declarative topology (written by
+  hand or extracted from a live kernel) under the verbatim Figure 4
+  rules, verifying :mod:`repro.policies.assertions` policies and
+  returning shortest counterexample traces, replayable on the real
+  kernel via :mod:`repro.analysis.replay`;
 - :mod:`repro.analysis.sanitizer`: the **runtime sanitizer** — an opt-in
   kernel mode differentially checking the fused label fast paths against
   the naive operators on every IPC.
 
-Both are exposed through ``python -m repro`` (see
-:mod:`repro.analysis.cli`).
+All are exposed through ``python -m repro`` (see
+:mod:`repro.analysis.cli`); ``--format sarif`` on the static commands
+emits GitHub code-scanning documents (:mod:`repro.analysis.sarif`).
 """
 
 from repro.analysis.asblint import (
@@ -22,7 +30,10 @@ from repro.analysis.asblint import (
     format_reports,
     render_json,
 )
+from repro.analysis.check import CheckReport, link_lint_findings, run_check
+from repro.analysis.extract import TopologyRecorder
 from repro.analysis.intervals import AbstractLabel, AbstractState, Interval
+from repro.analysis.model import Topology
 from repro.analysis.rules import (
     DECLASSIFY_NO_STAR,
     Diagnostic,
@@ -39,6 +50,7 @@ from repro.analysis.sanitizer import LabelSanitizer, SanitizerViolation, Violati
 __all__ = [
     "AbstractLabel",
     "AbstractState",
+    "CheckReport",
     "DECLASSIFY_NO_STAR",
     "Diagnostic",
     "FileReport",
@@ -50,12 +62,16 @@ __all__ = [
     "Rule",
     "SanitizerViolation",
     "TAINT_CREEP",
+    "Topology",
+    "TopologyRecorder",
     "Violation",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
     "findings",
     "format_reports",
+    "link_lint_findings",
     "render_json",
     "resolve_rule",
+    "run_check",
 ]

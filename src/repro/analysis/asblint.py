@@ -15,7 +15,9 @@ when it is a pure comment line — to the line directly below it.  Rules
 may be named by id (``ASB001``) or by name (``never-pass``); a bare
 ``ignore`` suppresses every rule.  Pragmas that suppress nothing are
 reported as stale so suppressions cannot quietly outlive the code they
-excused.
+excused, and a pragma naming a rule that does not exist gets an ASB000
+finding (it used to silently suppress nothing — the misspelled
+``ignore[ASB04]`` looked identical to a working one).
 """
 
 from __future__ import annotations
@@ -31,8 +33,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 from repro.analysis import rules as R
 from repro.analysis.astflow import ProgramAnalyzer, discover_programs
 
-#: Pseudo-rule id for files that fail to parse.
-PARSE_ERROR = "ASB000"
+#: Pseudo-rule id for tooling problems: parse failures, unknown pragma rules.
+PARSE_ERROR = R.TOOLING
 
 PRAGMA_RE = re.compile(r"#\s*asblint:\s*ignore(?:\[([^\]]*)\])?")
 
@@ -43,13 +45,20 @@ SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
 class Pragma:
     """One ``# asblint: ignore[...]`` comment."""
 
-    __slots__ = ("line", "rules", "used")
+    __slots__ = ("line", "rules", "used", "unknown")
 
-    def __init__(self, line: int, rules: Optional[Set[str]]):
+    def __init__(
+        self,
+        line: int,
+        rules: Optional[Set[str]],
+        unknown: Optional[List[str]] = None,
+    ):
         self.line = line
         #: None means "all rules"; otherwise a set of rule ids.
         self.rules = rules
         self.used = False
+        #: Keys in the bracket list that resolve to no rule at all.
+        self.unknown: List[str] = unknown or []
 
     def matches(self, rule_id: str) -> bool:
         return self.rules is None or rule_id in self.rules
@@ -75,6 +84,7 @@ def scan_pragmas(source: str) -> Dict[int, Pragma]:
                 continue
             spec = match.group(1)
             rules: Optional[Set[str]] = None
+            unknown: List[str] = []
             if spec is not None:
                 rules = set()
                 for key in spec.split(","):
@@ -82,11 +92,17 @@ def scan_pragmas(source: str) -> Dict[int, Pragma]:
                     if not key:
                         continue
                     rule = R.resolve_rule(key)
-                    rules.add(rule.id if rule else key.upper())
+                    if rule is None:
+                        # An unknown key suppresses nothing; remember it so
+                        # the caller can report ASB000 instead of letting the
+                        # typo masquerade as a working suppression.
+                        unknown.append(key)
+                    else:
+                        rules.add(rule.id)
             lineno = tok.start[0]
             own_line = tok.line[: tok.start[1]].strip() == ""
             target = lineno + 1 if own_line else lineno
-            pragmas[target] = Pragma(lineno, rules)
+            pragmas[target] = Pragma(lineno, rules, unknown)
     except tokenize.TokenError:  # pragma: no cover - caller reports the parse error
         pass
     return pragmas
@@ -127,7 +143,22 @@ def analyze_source(
         else:
             report.diagnostics.append(diag)
     for pragma in pragmas.values():
-        if not pragma.used:
+        for key in pragma.unknown:
+            diag = R.Diagnostic(
+                path=path,
+                line=pragma.line,
+                col=1,
+                rule=PARSE_ERROR,
+                message=(
+                    f"unknown rule {key!r} in asblint pragma "
+                    "(suppresses nothing; see --list-rules)"
+                ),
+            )
+            if not select or diag.rule in select:
+                report.diagnostics.append(diag)
+        # A pragma with unknown keys already gets ASB000; reporting it as
+        # stale too would double-count the same typo.
+        if not pragma.used and not pragma.unknown:
             report.unused_pragmas.append((pragma.line, pragma.spec()))
     report.diagnostics.sort(key=lambda d: (d.line, d.col, d.rule))
     report.unused_pragmas.sort()

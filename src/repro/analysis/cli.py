@@ -4,18 +4,24 @@ Subcommands::
 
     python -m repro                # the guided tour (default)
     python -m repro tour
-    python -m repro analyze <paths...> [--json] [--select RULES] [-v]
+    python -m repro analyze <paths...> [--format text|json|sarif] [--select RULES]
+    python -m repro check [--topology FILE | --okws] [--policy FILE] [--format ...]
     python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
     python -m repro bench [--quick] [--out DIR] [--only FIGS]
     python -m repro bench --validate <BENCH_*.json...>
 
 ``analyze`` runs the asblint static pass and exits 1 if any finding
-survives the pragma filter.  ``run`` drives the OKWS demo workload on a
-live kernel; with ``--sanitize`` every IPC is differentially checked
-against the naive label operators and the command exits 1 on any
-violation.  ``bench`` regenerates the paper's figures headlessly and
-writes machine-readable ``BENCH_<figure>.json`` documents (schema
-``repro-bench/v1``); ``--validate`` checks existing documents instead.
+survives the pragma filter; ``--topology`` links each finding to the
+asbcheck edges the flagged program feeds.  ``check`` runs the asbcheck
+whole-system model checker over a topology document (or the shipped
+OKWS topology extracted from a live run) and exits 1 on any policy
+violation, printing shortest counterexample traces.  ``run`` drives the
+OKWS demo workload on a live kernel; with ``--sanitize`` every IPC is
+differentially checked against the naive label operators.  ``bench``
+regenerates the paper's figures headlessly as ``BENCH_<figure>.json``
+documents; ``--validate`` checks existing documents instead.  Both
+analysis commands emit SARIF 2.1.0 with ``--format sarif`` for GitHub
+code scanning.
 """
 
 from __future__ import annotations
@@ -113,11 +119,82 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     except FileNotFoundError as err:
         print(f"repro analyze: {err}", file=sys.stderr)
         return 2
-    if args.json:
+    if args.topology:
+        from repro.analysis import check as C
+        from repro.analysis import model as M
+
+        try:
+            reports = C.link_lint_findings(reports, M.load(args.topology))
+        except (OSError, ValueError, KeyError) as err:
+            print(f"repro analyze: --topology: {err}", file=sys.stderr)
+            return 2
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         print(asblint.render_json(reports))
+    elif fmt == "sarif":
+        from repro.analysis import sarif
+
+        print(sarif.render(sarif.asblint_sarif(reports)))
     else:
         print(asblint.format_reports(reports, verbose=args.verbose))
     return 1 if asblint.findings(reports) else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import check as C
+    from repro.analysis import model as M
+    from repro.policies.assertions import policies_from_json
+
+    if bool(args.topology) == bool(args.okws):
+        print(
+            "repro check: give exactly one of --topology FILE or --okws",
+            file=sys.stderr,
+        )
+        return 2
+    if args.okws:
+        from repro.okws.topology import record_okws_topology
+
+        topology = record_okws_topology()
+    else:
+        try:
+            topology = M.load(args.topology)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"repro check: {err}", file=sys.stderr)
+            return 2
+    if args.dump_topology:
+        Path(args.dump_topology).write_text(topology.dumps(), encoding="utf-8")
+
+    policies = None
+    if args.policy:
+        try:
+            doc = json.loads(Path(args.policy).read_text(encoding="utf-8"))
+            items = doc.get("policies", []) if isinstance(doc, dict) else doc
+            policies = policies_from_json(items)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"repro check: --policy: {err}", file=sys.stderr)
+            return 2
+
+    try:
+        report = C.run_check(
+            topology, policies, exact=args.exact, max_states=args.max_states
+        )
+    except ValueError as err:
+        print(f"repro check: {err}", file=sys.stderr)
+        return 2
+
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    elif fmt == "sarif":
+        from repro.analysis import sarif
+
+        print(sarif.render(sarif.check_sarif(report)))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -209,7 +286,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument("paths", nargs="*", help="files or directories to analyze")
     analyze.add_argument(
-        "--json", action="store_true", help="emit a machine-readable JSON report"
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    analyze.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif: GitHub code-scanning schema)",
+    )
+    analyze.add_argument(
+        "--topology",
+        metavar="FILE",
+        help="asbcheck topology document; findings cite the edges they feed",
     )
     analyze.add_argument(
         "--select",
@@ -221,6 +309,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "-v", "--verbose", action="store_true", help="also list analyzed programs"
+    )
+
+    check = sub.add_parser(
+        "check", help="run the asbcheck whole-system model checker"
+    )
+    check.add_argument(
+        "--topology", metavar="FILE", help="topology document (topology/v1 JSON)"
+    )
+    check.add_argument(
+        "--okws",
+        action="store_true",
+        help="extract and check the shipped OKWS topology from a live run",
+    )
+    check.add_argument(
+        "--policy",
+        metavar="FILE",
+        help="policy JSON (list or {\"policies\": [...]}); default: the "
+        "topology's embedded battery",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    check.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif: GitHub code-scanning schema)",
+    )
+    check.add_argument(
+        "--exact",
+        action="store_true",
+        help="disable the state-space reduction (small topologies only)",
+    )
+    check.add_argument(
+        "--max-states",
+        type=int,
+        default=200_000,
+        metavar="N",
+        help="cap per exploration before truncating (default: 200000)",
+    )
+    check.add_argument(
+        "--dump-topology",
+        metavar="FILE",
+        help="also write the checked topology document to FILE",
     )
 
     run = sub.add_parser("run", help="run the OKWS demo workload")
@@ -278,6 +410,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tour()
     if namespace.command == "analyze":
         return _cmd_analyze(namespace)
+    if namespace.command == "check":
+        return _cmd_check(namespace)
     if namespace.command == "run":
         return _cmd_run(namespace)
     if namespace.command == "bench":

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+TOOLING = "ASB000"
 NEVER_PASS = "ASB001"
 TAINT_CREEP = "ASB002"
 DECLASSIFY_NO_STAR = "ASB003"
@@ -87,6 +88,17 @@ RULES: Tuple[Rule, ...] = (
 RULES_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
 RULES_BY_NAME: Dict[str, Rule] = {rule.name: rule for rule in RULES}
 
+#: ASB000 is the tooling pseudo-rule: the file does not parse, or a pragma
+#: names a rule that does not exist.  It is resolvable (so it can itself be
+#: suppressed or selected) but not part of the label-flow catalogue above.
+TOOLING_RULE = Rule(
+    TOOLING,
+    "tooling",
+    "file does not parse, or an asblint pragma names an unknown rule",
+)
+RULES_BY_ID[TOOLING] = TOOLING_RULE
+RULES_BY_NAME[TOOLING_RULE.name] = TOOLING_RULE
+
 
 def resolve_rule(key: str) -> Optional[Rule]:
     """Look a rule up by id (``ASB003``) or name (``declassify-no-star``)."""
@@ -103,6 +115,9 @@ class Diagnostic:
     rule: str          # rule id, e.g. "ASB001"
     message: str
     function: str = ""  # qualified name of the program generator
+    #: asbcheck topology edges this program's sends become (filled in by
+    #: ``repro.analysis.check.link_lint_findings``).
+    related_edges: Tuple[str, ...] = ()
 
     @property
     def rule_name(self) -> str:
@@ -110,13 +125,16 @@ class Diagnostic:
         return rule.name if rule else self.rule
 
     def format(self) -> str:
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.col}: "
             f"{self.rule}[{self.rule_name}] {self.message}"
         )
+        if self.related_edges:
+            text += f"  [feeds edge {', '.join(self.related_edges)}]"
+        return text
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -125,6 +143,9 @@ class Diagnostic:
             "function": self.function,
             "message": self.message,
         }
+        if self.related_edges:
+            out["related_edges"] = list(self.related_edges)
+        return out
 
 
 @dataclass

@@ -1,0 +1,218 @@
+"""SARIF 2.1.0 emission, shared by ``repro analyze`` and ``repro check``.
+
+One emitter, two producers: asblint findings carry *physical* locations
+(file/line/col), asbcheck violations carry *logical* locations (the
+process or edge of the topology, which has no source file).  GitHub code
+scanning ingests either via ``upload-sarif``; the CI workflow wires the
+analyze job's output through it.
+
+Only the slice of the schema the two tools need is produced — a single
+run per document, ``tool.driver`` rule metadata, results with either a
+``physicalLocation`` or ``logicalLocations``, and a ``properties`` bag
+for payloads that have no SARIF shape (counterexample traces, related
+topology edges).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+    "master/Schemata/sarif-schema-2.1.0.json"
+)
+VERSION = "2.1.0"
+
+#: (id, name, summary) triples for rule metadata.
+RuleInfo = Tuple[str, str, str]
+
+
+def make_rule(rule_id: str, name: str, summary: str) -> Dict[str, Any]:
+    return {
+        "id": rule_id,
+        "name": name,
+        "shortDescription": {"text": summary},
+    }
+
+
+def make_result(
+    rule_id: str,
+    message: str,
+    level: str = "error",
+    path: Optional[str] = None,
+    line: Optional[int] = None,
+    col: Optional[int] = None,
+    logical: Sequence[Tuple[str, str]] = (),
+    properties: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One SARIF result.  *path*/*line*/*col* give a physical location;
+    *logical* gives ``(fullyQualifiedName, kind)`` pairs instead."""
+    result: Dict[str, Any] = {
+        "ruleId": rule_id,
+        "level": level,
+        "message": {"text": message},
+    }
+    locations: List[Dict[str, Any]] = []
+    if path is not None:
+        region: Dict[str, Any] = {}
+        if line is not None:
+            region["startLine"] = line
+        if col is not None:
+            region["startColumn"] = col
+        location: Dict[str, Any] = {
+            "physicalLocation": {"artifactLocation": {"uri": path}}
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        locations.append(location)
+    if logical:
+        locations.append(
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": fqn, "kind": kind}
+                    for fqn, kind in logical
+                ]
+            }
+        )
+    if locations:
+        result["locations"] = locations
+    if properties:
+        result["properties"] = properties
+    return result
+
+
+def make_sarif(
+    tool_name: str,
+    rules: Iterable[RuleInfo],
+    results: Sequence[Dict[str, Any]],
+    information_uri: str = "https://github.com/asbestos-repro",
+) -> Dict[str, Any]:
+    """A complete single-run SARIF document."""
+    return {
+        "$schema": SCHEMA,
+        "version": VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": information_uri,
+                        "rules": [make_rule(*info) for info in rules],
+                    }
+                },
+                "results": list(results),
+            }
+        ],
+    }
+
+
+def render(document: Dict[str, Any]) -> str:
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+# -- asblint ------------------------------------------------------------------------
+
+
+def asblint_sarif(reports: Sequence[Any]) -> Dict[str, Any]:
+    """SARIF for a list of :class:`repro.analysis.rules.FileReport`."""
+    from repro.analysis import rules as R
+
+    rule_infos = [(r.id, r.name, r.summary) for r in R.RULES]
+    rule_infos.append(
+        (R.TOOLING_RULE.id, R.TOOLING_RULE.name, R.TOOLING_RULE.summary)
+    )
+    results: List[Dict[str, Any]] = []
+    for report in reports:
+        for diag in report.diagnostics:
+            properties: Dict[str, Any] = {}
+            if diag.function:
+                properties["function"] = diag.function
+            if diag.related_edges:
+                properties["related_edges"] = list(diag.related_edges)
+            results.append(
+                make_result(
+                    diag.rule,
+                    diag.message,
+                    level="warning" if diag.rule == R.TOOLING else "error",
+                    path=report.path,
+                    line=diag.line,
+                    col=diag.col,
+                    properties=properties or None,
+                )
+            )
+        for line, spec in report.unused_pragmas:
+            detail = f"[{spec}]" if spec else ""
+            results.append(
+                make_result(
+                    R.TOOLING,
+                    f"stale pragma: asblint: ignore{detail} suppresses nothing",
+                    level="note",
+                    path=report.path,
+                    line=line,
+                    col=1,
+                )
+            )
+    return make_sarif("asblint", rule_infos, results)
+
+
+# -- asbcheck -----------------------------------------------------------------------
+
+_POLICY_RULES: Tuple[RuleInfo, ...] = (
+    (
+        "isolation",
+        "isolation",
+        "a watched handle never appears above its bound in the process's "
+        "send label or any effective send label it can produce",
+    ),
+    (
+        "mandatory-declassifier",
+        "mandatory-declassifier",
+        "with declassifier edges removed, nothing delivers the handle "
+        "above its bound into the sink",
+    ),
+    (
+        "capability-confinement",
+        "capability-confinement",
+        "only the allowed processes ever hold * for the handle",
+    ),
+    (
+        "dead-edge",
+        "dead-edge",
+        "the listed edges must deliver in some reachable state",
+    ),
+)
+
+
+def check_sarif(report: Any) -> Dict[str, Any]:
+    """SARIF for a :class:`repro.analysis.check.CheckReport`.
+
+    Violations become error-level results located by logical name
+    (``topology/process`` and ``topology/edge``); the counterexample
+    trace rides in the result's properties bag."""
+    topo = report.topology
+    results: List[Dict[str, Any]] = []
+    for result in report.results:
+        violation = result.violation
+        if violation is None:
+            continue
+        logical: List[Tuple[str, str]] = []
+        if violation.process:
+            logical.append((f"{topo.name}/{violation.process}", "module"))
+        if violation.edge:
+            logical.append((f"{topo.name}/{violation.edge}", "function"))
+        message = f"{result.policy.describe()}: {violation.message}"
+        properties: Dict[str, Any] = {
+            "topology": topo.name,
+            "trace": [step.to_json(topo) for step in violation.trace],
+        }
+        results.append(
+            make_result(
+                result.policy.kind,
+                message,
+                level="error",
+                logical=logical or [(topo.name, "module")],
+                properties=properties,
+            )
+        )
+    return make_sarif("asbcheck", _POLICY_RULES, results)

@@ -178,6 +178,13 @@ class Kernel:
         #: Covert-channel mitigation hook (Section 8): called before each
         #: spawn; returning False denies process creation.
         self.fork_limiter: Optional[Callable[[Process], bool]] = None
+        #: Passive observers (repro.analysis.extract): objects whose
+        #: ``on_spawn``/``on_send``/``on_inject``/``on_ep_create``/
+        #: ``on_new_handle``/``on_new_port``/``on_change_label`` methods
+        #: (all optional) are called at the matching kernel events.  The
+        #: hot paths guard every dispatch behind ``if self.hooks:`` so an
+        #: unobserved kernel pays one falsy check.
+        self.hooks: List[Any] = []
         self._pid = 0
         self._seq = 0
         self._steps = 0
@@ -240,6 +247,12 @@ class Kernel:
 
             self.sanitizer = LabelSanitizer(self, strict=config.sanitize_strict)
 
+    def _hook(self, method: str, *args: Any) -> None:
+        for observer in self.hooks:
+            fn = getattr(observer, method, None)
+            if fn is not None:
+                fn(*args)
+
     # -- bootstrapping -----------------------------------------------------------
 
     def spawn(
@@ -287,6 +300,8 @@ class Kernel:
         self.scheduler.enqueue(process.key)
         if self._obs:
             self._m_spawns.inc()
+        if self.hooks:
+            self._hook("on_spawn", process)
         return process
 
     def inject(self, port: Handle, payload: Any) -> bool:
@@ -295,6 +310,8 @@ class Kernel:
         the receiver is not contaminated and ordinary receive checks apply."""
         if self._obs:
             self._m_injected.inc()
+        if self.hooks:
+            self._hook("on_inject", port, payload)
         return self._enqueue(
             port=port,
             payload=payload,
@@ -494,6 +511,8 @@ class Kernel:
         self.clock.charge(KERNEL_IPC, cost.send_base)
         if self._obs:
             self._m_sends.inc()
+        if self.hooks:
+            self._hook("on_send", task, request)
         stats = OpStats()
         ps = task.send_label
         cs = self._user_label(request.cs, _BOTTOM)
@@ -818,6 +837,8 @@ class Kernel:
         stats = OpStats()
         task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
         self._charge_label_work(stats)
+        if self.hooks:
+            self._hook("on_new_handle", task, handle)
         return handle
 
     def _sys_new_port(self, task: Task, label: Optional[Label]) -> Handle:
@@ -833,6 +854,8 @@ class Kernel:
         # PS(p) ← ⋆.
         task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
         self._charge_label_work(stats)
+        if self.hooks:
+            self._hook("on_new_port", task, handle)
         return handle
 
     def _sys_set_port_label(self, task: Task, request: sc.SetPortLabel) -> bool:
@@ -907,6 +930,8 @@ class Kernel:
                 )
             task.receive_label = new
         self._charge_label_work(stats)
+        if self.hooks:
+            self._hook("on_change_label", task, request)
         return True
 
     def _user_label(self, label: Optional[Label], default: ChunkedLabel) -> ChunkedLabel:
@@ -1067,6 +1092,10 @@ class Kernel:
             raise SimulationError(
                 f"event body of {process.name!r} is not a generator function"
             )
+        # Observers see the EP after its first delivery, so its labels
+        # already include the activating message's contamination.
+        if self.hooks:
+            self._hook("on_ep_create", ep, entry, qmsg)
         self._advance(ep)
         return True
 

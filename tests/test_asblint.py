@@ -205,3 +205,38 @@ def test_receive_widening_preserves_star_privileges():
     assert not widened.ps.definitely_not_star("other")
     assert state.may_hold_star("port")
     assert not state.may_hold_star("other")
+
+
+# -- ASB000: unknown rules in pragmas -----------------------------------------------
+
+
+def test_unknown_rule_in_pragma_is_reported_not_silent():
+    src = tainted_send(pragma="  # asblint: ignore[taint-kreep]")
+    report = asblint.analyze_source(src, "<mem>")
+    rules = [d.rule for d in report.diagnostics]
+    # The typo'd pragma suppresses nothing, so the real finding survives,
+    # and the typo itself is called out as ASB000 at the pragma's line.
+    assert R.TAINT_CREEP in rules
+    assert R.TOOLING in rules
+    asb000 = next(d for d in report.diagnostics if d.rule == R.TOOLING)
+    assert "taint-kreep" in asb000.message
+    assert asb000.line == 4
+    assert asb000.rule_name == "tooling"
+    # No stale-pragma double report for the same typo.
+    assert report.unused_pragmas == []
+
+
+def test_mixed_known_and_unknown_pragma_keys():
+    src = tainted_send(pragma="  # asblint: ignore[taint-creep, ASB99]")
+    report = asblint.analyze_source(src, "<mem>")
+    # The known key still works...
+    assert [d.rule for d in report.suppressed] == [R.TAINT_CREEP]
+    # ...and the unknown one is still reported.
+    assert [d.rule for d in report.diagnostics] == [R.TOOLING]
+    assert report.unused_pragmas == []
+
+
+def test_tooling_rule_resolves_but_is_not_in_catalogue():
+    assert R.resolve_rule("ASB000") is R.TOOLING_RULE
+    assert R.resolve_rule("tooling") is R.TOOLING_RULE
+    assert R.TOOLING_RULE not in R.RULES

@@ -1,0 +1,167 @@
+"""Boundary cases and concrete-semantics properties for the abstract
+label-interval domain behind asblint (``repro.analysis.intervals``)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.intervals import (
+    AbstractLabel,
+    AbstractState,
+    IV_L1,
+    IV_L2,
+    IV_STAR,
+    Interval,
+    TOP,
+    check_send_interval,
+    exact,
+    interval_for_level,
+)
+from repro.analysis.model import LabelStore
+from repro.core.labels import Label
+from repro.core.levels import L0, L1, L2, L3, STAR
+
+LEVELS = [STAR, L0, L1, L2, L3]
+levels = st.sampled_from(LEVELS)
+HANDLES = [0x10, 0x11, 0x12]
+
+
+# -- Interval arithmetic at the boundaries -----------------------------------------
+
+
+def test_interval_validation():
+    with pytest.raises(ValueError):
+        Interval(L2, L1)
+    with pytest.raises(ValueError):
+        Interval(STAR - 1, L0)
+    assert Interval(STAR, L3) == TOP
+
+
+def test_star_level_joins():
+    # ⋆ = -1 is below every level: joining with ⋆ is the identity,
+    # meeting with ⋆ collapses to ⋆ — the privilege absorbs.
+    assert IV_STAR.join(exact(L3)) == exact(L3)
+    assert IV_STAR.join(IV_STAR) == IV_STAR
+    assert IV_STAR.meet(exact(L3)) == IV_STAR
+    assert exact(L0).join(IV_STAR) == exact(L0)
+    # A maybe-⋆ interval keeps ⋆ in the meet's lower bound.
+    assert Interval(STAR, L2).meet(exact(L1)) == Interval(STAR, L1)
+    assert Interval(STAR, L2).join(exact(L1)) == Interval(L1, L2)
+
+
+def test_hull_versus_join():
+    # hull is control-flow merge (may be either value); join is the ⊔ of
+    # two values.  They differ below: max(0,2)=2 cannot be 0.
+    a, b = exact(L0), exact(L2)
+    assert a.hull(b) == Interval(L0, L2)
+    assert a.join(b) == exact(L2)
+
+
+def test_send_default_1_versus_receive_default_2():
+    # Fresh-process defaults: PS {1} must pass a fresh receiver's QR {2}
+    # but a self-raised {3} must not.
+    fresh = AbstractState.fresh_process()
+    assert fresh.ps.default == IV_L1
+    assert fresh.pr.default == IV_L2
+    qr = AbstractLabel({}, IV_L2)
+    ok = check_send_interval(
+        fresh.ps, qr, AbstractLabel.bottom(), AbstractLabel.top(), AbstractLabel.top()
+    )
+    assert not ok.never_passes
+    raised = AbstractLabel({}, exact(L3))
+    dead = check_send_interval(
+        raised, qr, AbstractLabel.bottom(), AbstractLabel.top(), AbstractLabel.top()
+    )
+    assert dead.never_passes
+    assert dead.witness == "<default>"
+    assert (dead.lhs_lo, dead.rhs_hi) == (L3, L2)
+
+
+def test_widening_converges_and_preserves_star():
+    label = AbstractLabel({"t": exact(L2), "p": IV_STAR}, IV_L1)
+    once = label.widened()
+    # ⋆ entries are fixed points of the send effect; everything else may
+    # have risen (or been decontaminated) arbitrarily.
+    assert once.at("p") == IV_STAR
+    assert once.at("t") == TOP
+    assert once.blurry
+    # Widening is idempotent — the fixpoint is reached in one step, so
+    # the flow analysis cannot oscillate on receive loops.
+    assert once.widened() == once
+    assert AbstractState(label, label).after_receive().after_receive() == \
+        AbstractState(label, label).after_receive()
+
+
+def test_unknown_label_stays_sound_at_unseen_tokens():
+    blurry = AbstractLabel.unknown()
+    assert blurry.at("anything") == TOP
+    assert not blurry.definitely_not_star("anything")
+    assert not AbstractState.unknown_history().ps.definitely_not_star("x")
+    assert AbstractState.fresh_process().ps.definitely_not_star("x")
+
+
+# -- hypothesis: the abstraction agrees with the concrete Label semantics -----------
+
+
+def concrete_labels():
+    return st.builds(
+        Label,
+        st.dictionaries(st.sampled_from(HANDLES), levels, max_size=3),
+        levels,
+    )
+
+
+def abstract_exactly(label: Label) -> AbstractLabel:
+    return AbstractLabel(
+        {str(h): interval_for_level(label(h)) for h in HANDLES},
+        interval_for_level(label.default),
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(concrete_labels(), concrete_labels())
+def test_abstract_join_meet_match_concrete_pointwise(a, b):
+    aa, ab = abstract_exactly(a), abstract_exactly(b)
+    joined, met = aa.join(ab), aa.meet(ab)
+    for h in HANDLES:
+        assert joined.at(str(h)) == interval_for_level(max(a(h), b(h)))
+        assert met.at(str(h)) == interval_for_level(min(a(h), b(h)))
+    assert joined.default == interval_for_level(max(a.default, b.default))
+    assert met.default == interval_for_level(min(a.default, b.default))
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    concrete_labels(), concrete_labels(), concrete_labels(),
+    concrete_labels(), concrete_labels(),
+)
+def test_never_passes_is_sound_against_the_kernel_check(es, qr, dr, v, pr):
+    """If the abstract evaluation proves the Figure 4 check cannot pass,
+    the concrete (fused, memoized) kernel check must indeed fail — on
+    exact intervals the abstract verdict may not cry wolf."""
+    verdict = check_send_interval(
+        abstract_exactly(es), abstract_exactly(qr), abstract_exactly(dr),
+        abstract_exactly(v), abstract_exactly(pr),
+    )
+    store = LabelStore()
+    passes = store.check(
+        store.intern(es), store.intern(qr), store.intern(dr),
+        store.intern(v), store.intern(pr),
+    )
+    if verdict.never_passes:
+        assert not passes
+    # On exact intervals the converse holds too: a concrete failure has
+    # an entry witness the three-valued evaluation also sees.
+    if not passes:
+        assert verdict.never_passes
+
+
+@settings(max_examples=100, deadline=None)
+@given(concrete_labels(), concrete_labels())
+def test_hull_contains_both_operands(a, b):
+    hulled = abstract_exactly(a).hull(abstract_exactly(b))
+    for h in HANDLES:
+        iv = hulled.at(str(h))
+        assert iv.lo <= a(h) <= iv.hi
+        assert iv.lo <= b(h) <= iv.hi
