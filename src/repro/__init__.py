@@ -17,6 +17,9 @@ Quick tour of the public surface:
   regenerate the paper's figures.
 - :mod:`repro.policies` — MLS, capability and integrity recipes.
 - :mod:`repro.covert` — the Section 8 storage channels and mitigation.
+- :mod:`repro.faults` — deterministic fault injection: declarative
+  :class:`~repro.faults.FaultPlan` documents, the seeded injector, and
+  the ``python -m repro chaos`` campaign runner.
 
 The stable, re-exported surface is exactly ``repro.__all__`` below (see
 the API table in README.md); anything else may move between releases.
@@ -57,6 +60,9 @@ __all__ = [
     "analyze_paths",
     "run_check",
     "record_okws_topology",
+    "FaultPlan",
+    "load_plan",
+    "run_campaign",
     "__version__",
 ]
 
@@ -72,6 +78,9 @@ _LAZY = {
     "analyze_paths": ("repro.analysis.asblint", "analyze_paths"),
     "run_check": ("repro.analysis.check", "run_check"),
     "record_okws_topology": ("repro.okws.topology", "record_okws_topology"),
+    "FaultPlan": ("repro.faults", "FaultPlan"),
+    "load_plan": ("repro.faults", "load_plan"),
+    "run_campaign": ("repro.faults", "run_campaign"),
 }
 
 

@@ -269,6 +269,90 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"repro bench: {err}", file=sys.stderr)
         return 2
     print(f"repro bench: {len(paths)} document(s) written")
+    if args.guard:
+        problems = bench.guard_files(args.guard, args.out, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"repro bench: guard: {problem}", file=sys.stderr)
+            print(
+                f"repro bench: guard FAILED ({len(problems)} regression(s) "
+                f"beyond {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"repro bench: guard passed ({len(args.guard)} baseline(s) "
+            f"within {args.tolerance:.0%})"
+        )
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.faults.campaign import run_campaign
+    from repro.faults.plan import PlanError, load_plan
+
+    try:
+        plan = load_plan(args.plan)
+    except (OSError, PlanError, ValueError) as err:
+        print(f"repro chaos: {err}", file=sys.stderr)
+        return 2
+
+    results = []
+    for seed in args.seeds:
+        result = run_campaign(
+            plan,
+            seed=seed,
+            users=args.users,
+            rounds=args.rounds,
+            concurrency=args.concurrency,
+            min_completion=args.min_completion,
+        )
+        if args.repeat > 1:
+            # Determinism audit: the same (plan, seed) must replay the
+            # identical fault event log, byte for byte.
+            for _ in range(args.repeat - 1):
+                again = run_campaign(
+                    plan,
+                    seed=seed,
+                    users=args.users,
+                    rounds=args.rounds,
+                    concurrency=args.concurrency,
+                    min_completion=args.min_completion,
+                )
+                if again.events_json != result.events_json:
+                    print(
+                        f"repro chaos: seed {seed} is NOT deterministic "
+                        "(fault logs differ between identical runs)",
+                        file=sys.stderr,
+                    )
+                    return 1
+            result.checks["deterministic"] = True
+        results.append(result)
+        print(f"== chaos campaign: plan={args.plan} seed={seed} ==")
+        for line in result.summary_lines():
+            print(f"  {line}")
+
+    if args.json:
+        doc = {
+            "schema": "chaos-report/v1",
+            "plan_path": args.plan,
+            "campaigns": [r.to_json() for r in results],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"repro chaos: wrote {args.json}")
+
+    failed = [r for r in results if not r.passed]
+    if failed:
+        print(
+            f"repro chaos: {len(failed)}/{len(results)} campaign(s) FAILED",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"repro chaos: {len(results)} campaign(s) passed")
     return 0
 
 
@@ -379,6 +463,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(strict=True)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection campaign against the OKWS site",
+    )
+    chaos.add_argument(
+        "--plan",
+        required=True,
+        metavar="FILE",
+        help="faultplan/v1 JSON (see examples/faultplans/)",
+    )
+    chaos.add_argument(
+        "--seeds",
+        type=lambda s: [int(x) for x in s.split(",") if x.strip()],
+        default=[0],
+        metavar="N[,N...]",
+        help="injector seeds, one campaign each (default: 0)",
+    )
+    chaos.add_argument(
+        "--users", type=int, default=8, metavar="N", help="site users (default: 8)"
+    )
+    chaos.add_argument(
+        "--rounds",
+        type=int,
+        default=4,
+        metavar="N",
+        help="requests per user (default: 4)",
+    )
+    chaos.add_argument(
+        "--concurrency",
+        type=int,
+        default=8,
+        metavar="N",
+        help="closed-loop wave size (default: 8)",
+    )
+    chaos.add_argument(
+        "--min-completion",
+        type=float,
+        default=0.9,
+        metavar="F",
+        help="liveness floor as a fraction (default: 0.9)",
+    )
+    chaos.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        metavar="N",
+        help="runs per seed for the determinism audit (default: 2; 1 skips it)",
+    )
+    chaos.add_argument(
+        "--json", metavar="FILE", help="also write a chaos-report/v1 document"
+    )
+
     bench = sub.add_parser(
         "bench", help="regenerate the paper's figures as BENCH_*.json"
     )
@@ -399,6 +535,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="validate existing BENCH_*.json files instead of running",
     )
+    bench.add_argument(
+        "--guard",
+        nargs="+",
+        metavar="BASELINE",
+        help="after running, fail if any series in these committed "
+        "baselines regresses beyond --tolerance in the fresh documents",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.02,
+        metavar="F",
+        help="allowed per-point regression for --guard (default: 0.02)",
+    )
     return parser
 
 
@@ -414,6 +564,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_check(namespace)
     if namespace.command == "run":
         return _cmd_run(namespace)
+    if namespace.command == "chaos":
+        return _cmd_chaos(namespace)
     if namespace.command == "bench":
         return _cmd_bench(namespace)
     parser.error(f"unknown command {namespace.command!r}")  # pragma: no cover

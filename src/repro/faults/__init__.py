@@ -1,0 +1,36 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Asbestos IPC is *defined* to be unreliable — Figure 4 drops any send that
+fails a label check, silently — yet the shipped servers almost never see a
+drop in practice.  This package exercises the failure modes on purpose:
+
+- :mod:`repro.faults.plan` — declarative, JSON-serializable
+  :class:`FaultPlan` documents (drop / delay / crash / queue-squeeze /
+  kill-EP / stall / spawn-fail / clock-noise rules with name predicates,
+  probabilities and step windows);
+- :mod:`repro.faults.injector` — the seeded :class:`FaultInjector` the
+  kernel consults at its choke points (send admission, queue delivery,
+  scheduler pick, syscall dispatch, spawn).  A dedicated PRNG makes the
+  same (plan, seed) pair reproduce the identical fault event sequence;
+- :mod:`repro.faults.campaign` — ``python -m repro chaos``: run a fault
+  campaign against a live OKWS site and assert the reliability invariants
+  (zero sanitizer violations, fault accounting reconciles, a minimum
+  fraction of client requests still completes).
+
+Everything here is out-of-band, like the drop log: simulated programs
+cannot observe the injector, so it cannot become a covert channel.
+"""
+
+from repro.faults.plan import FaultPlan, FaultRule, load_plan
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.campaign import CampaignResult, run_campaign
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultEvent",
+    "FaultInjector",
+    "CampaignResult",
+    "run_campaign",
+    "load_plan",
+]

@@ -1,0 +1,225 @@
+"""Declarative fault plans (``faultplan/v1``).
+
+A :class:`FaultPlan` is a frozen, JSON-round-trippable list of
+:class:`FaultRule` records.  Each rule names one fault *kind*, the
+predicate selecting its victims, and when/how often it fires:
+
+========== ===================================================================
+``drop``         drop a message at send admission (sender/port predicate,
+                 probability ``p``)
+``delay``        hold a message back ``rounds`` scheduler rounds before it
+                 is enqueued
+``crash``        crash a process at its N-th syscall (``at_syscall``), or
+                 with probability ``p`` per syscall
+``queue_limit``  squeeze matching ports' queue limits to ``limit`` messages
+``kill_ep``      destroy one dormant event process of a matching base
+                 process at scheduler step ``at_step``
+``stall``        skip a task's scheduler turn with probability ``p``
+``spawn_fail``   fail a matching spawn with ResourceExhausted
+``clock_noise``  charge ``cycles`` of background load with probability
+                 ``p`` per scheduler step
+========== ===================================================================
+
+Predicates (``sender`` / ``process`` / ``port_name`` / ``name``) are
+``fnmatch`` globs over task names (``worker-*`` matches every worker).
+``after_step`` / ``until_step`` bound a rule to a scheduler-step window and
+``max_fires`` caps its total firings; all three default to "always".
+
+Plans deliberately import nothing from the kernel so that
+:mod:`repro.kernel.config` can load them without an import cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from fnmatch import fnmatchcase
+from typing import Any, Dict, Optional, Tuple
+
+#: Schema identifier stamped into (and required of) every plan document.
+SCHEMA = "faultplan/v1"
+
+#: The fault kinds the injector implements.
+KINDS = (
+    "drop",
+    "delay",
+    "crash",
+    "queue_limit",
+    "kill_ep",
+    "stall",
+    "spawn_fail",
+    "clock_noise",
+)
+
+#: Per-kind required numeric knobs (beyond the shared window/probability).
+_KIND_REQUIRED: Dict[str, Tuple[str, ...]] = {
+    "delay": ("rounds",),
+    "queue_limit": ("limit",),
+    "kill_ep": ("at_step",),
+    "clock_noise": ("cycles",),
+}
+
+
+class PlanError(ValueError):
+    """A malformed fault plan document or rule."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault source.  Unused knobs stay at their defaults."""
+
+    kind: str
+    #: Stable identifier used in the fault event log (defaults to
+    #: ``<kind>-<index>`` when loaded from JSON without one).
+    id: str = ""
+    #: fnmatch glob over the sender task name (drop/delay) or the task /
+    #: process name (crash, stall, kill_ep, spawn_fail).  ``*`` = anyone.
+    match: str = "*"
+    #: Optional port handle the rule is limited to (drop/delay/queue_limit);
+    #: ``None`` matches every port.  Plans written by hand rarely know raw
+    #: handle values — campaigns resolve well-known site ports into this.
+    port: Optional[int] = None
+    #: Firing probability per opportunity (drop/delay/stall/spawn_fail/
+    #: clock_noise, and crash when ``at_syscall`` is unset).
+    p: float = 1.0
+    #: Crash exactly at the victim's N-th syscall since arming.
+    at_syscall: Optional[int] = None
+    #: One-shot actions scheduled at an absolute scheduler step (kill_ep).
+    at_step: Optional[int] = None
+    #: Delay length in scheduler rounds.
+    rounds: int = 0
+    #: Squeezed queue limit (queue_limit).
+    limit: int = 0
+    #: Background-load charge (clock_noise), in cycles.
+    cycles: int = 0
+    #: Step window in which the rule is live.
+    after_step: int = 0
+    until_step: Optional[int] = None
+    #: Cap on total firings (None = unbounded).
+    max_fires: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise PlanError(f"unknown fault kind {self.kind!r} (expected one of {KINDS})")
+        if not 0.0 <= self.p <= 1.0:
+            raise PlanError(f"rule {self.id or self.kind}: p must be in [0, 1], got {self.p}")
+        for knob in _KIND_REQUIRED.get(self.kind, ()):
+            if not getattr(self, knob):
+                raise PlanError(f"rule {self.id or self.kind}: {self.kind} needs {knob!r}")
+        if self.kind == "delay" and self.rounds <= 0:
+            raise PlanError(f"rule {self.id or self.kind}: rounds must be positive")
+        if self.kind == "queue_limit" and self.limit < 0:
+            raise PlanError(f"rule {self.id or self.kind}: limit must be >= 0")
+        if self.max_fires is not None and self.max_fires <= 0:
+            raise PlanError(f"rule {self.id or self.kind}: max_fires must be positive")
+
+    # -- predicates ---------------------------------------------------------
+
+    def matches_name(self, name: str) -> bool:
+        return fnmatchcase(name, self.match)
+
+    def matches_port(self, port: int) -> bool:
+        return self.port is None or self.port == port
+
+    def in_window(self, step: int) -> bool:
+        if step < self.after_step:
+            return False
+        return self.until_step is None or step < self.until_step
+
+    # -- JSON ---------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if value != f.default:
+                doc[f.name] = value
+        doc["kind"] = self.kind
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any], index: int = 0) -> "FaultRule":
+        if not isinstance(doc, dict):
+            raise PlanError(f"rule #{index} is {type(doc).__name__}, not an object")
+        known = {f.name for f in fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise PlanError(f"rule #{index}: unknown keys {sorted(unknown)}")
+        if "kind" not in doc:
+            raise PlanError(f"rule #{index}: missing 'kind'")
+        values = dict(doc)
+        values.setdefault("id", f"{doc['kind']}-{index}")
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, ordered collection of fault rules.
+
+    Rule order matters: the injector consults rules in plan order and the
+    PRNG draws in that order, so two plans with the same rules in a
+    different order are *different* plans (and may produce different event
+    sequences under the same seed).
+    """
+
+    rules: Tuple[FaultRule, ...] = ()
+    #: Free-form description carried through the JSON document.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        seen: set = set()
+        for rule in self.rules:
+            if rule.id in seen:
+                raise PlanError(f"duplicate rule id {rule.id!r}")
+            seen.add(rule.id)
+
+    def by_kind(self, *kinds: str) -> Tuple[FaultRule, ...]:
+        return tuple(rule for rule in self.rules if rule.kind in kinds)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    # -- JSON ---------------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"schema": SCHEMA}
+        if self.description:
+            doc["description"] = self.description
+        doc["rules"] = [rule.to_json() for rule in self.rules]
+        return doc
+
+    def dumps(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(doc, dict):
+            raise PlanError(f"plan is {type(doc).__name__}, not an object")
+        if doc.get("schema", SCHEMA) != SCHEMA:
+            raise PlanError(f"schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+        raw_rules = doc.get("rules", [])
+        if not isinstance(raw_rules, list):
+            raise PlanError("'rules' must be an array")
+        rules = tuple(
+            FaultRule.from_json(rule, index) for index, rule in enumerate(raw_rules)
+        )
+        return cls(rules=rules, description=str(doc.get("description", "")))
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise PlanError(f"invalid JSON: {err}") from err
+        return cls.from_json(doc)
+
+    @classmethod
+    def of(cls, *rules: FaultRule, description: str = "") -> "FaultPlan":
+        """Convenience constructor for tests and campaigns."""
+        return cls(rules=tuple(rules), description=description)
+
+
+def load_plan(path: str) -> FaultPlan:
+    """Read a ``faultplan/v1`` JSON document from *path*."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return FaultPlan.loads(handle.read())

@@ -20,7 +20,7 @@ from repro.ipc.protocol import (
     reply_to,
     request,
 )
-from repro.ipc.rpc import Channel, serve_forever
+from repro.ipc.rpc import CallTimeout, Channel, serve_forever
 
 __all__ = [
     "CONTROL",
@@ -34,6 +34,7 @@ __all__ = [
     "WRITE_R",
     "reply_to",
     "request",
+    "CallTimeout",
     "Channel",
     "serve_forever",
 ]

@@ -68,6 +68,10 @@ def reply_to(req: Dict[str, Any], msg_type: Optional[str] = None, **fields: Any)
         # Correlation tag: lets a client multiplex many outstanding
         # requests over one reply port (ok-demux does this per connection).
         payload["tag"] = req["tag"]
+    if "req" in req:
+        # Request number: lets Channel.call discard stale duplicate
+        # replies left over from retried requests.
+        payload["req"] = req["req"]
     payload.update(fields)
     return payload
 

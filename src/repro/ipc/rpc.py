@@ -16,7 +16,24 @@ from typing import Any, Callable, Dict, Generator, Optional
 from repro.core.handles import Handle
 from repro.core.labels import Label
 from repro.kernel.message import Message
-from repro.kernel.syscalls import NewPort, Recv, Send, SetPortLabel
+from repro.kernel.syscalls import Deadline, NewPort, Recv, Send, SetPortLabel
+
+
+class CallTimeout(Exception):
+    """A :meth:`Channel.call` exhausted its deadline (and retries) without
+    a reply.  Either leg may have been silently dropped — unreliable sends
+    mean the caller cannot know which — so the operation's outcome is
+    *unknown*: retry only if the request is idempotent or the server
+    deduplicates by ``req``."""
+
+    def __init__(self, port: Handle, attempts: int, deadline: int):
+        self.port = port
+        self.attempts = attempts
+        self.deadline = deadline
+        super().__init__(
+            f"no reply from {port:#x} after {attempts} attempt(s) "
+            f"(deadline {deadline} cycles)"
+        )
 
 
 class Channel:
@@ -31,6 +48,12 @@ class Channel:
 
     def __init__(self, port: Handle):
         self.port = port
+        #: Monotonic per-channel request number; stamped into every
+        #: ``call``/``call_nowait`` payload as ``req`` so stale replies
+        #: (from retried or abandoned requests) can be recognised and
+        #: discarded.  Servers echo it via :func:`~repro.ipc.protocol
+        #: .reply_to`.
+        self._req_seq = 0
 
     @classmethod
     def open(cls, port_label: Optional[Label] = None) -> Generator:
@@ -46,6 +69,9 @@ class Channel:
         ds: Optional[Label] = None,
         v: Optional[Label] = None,
         dr: Optional[Label] = None,
+        deadline: Optional[int] = None,
+        retries: int = 0,
+        backoff: float = 2.0,
         **aliases: Optional[Label],
     ) -> Generator:
         """Send *payload* (with ``reply`` pointing here) and await the
@@ -55,22 +81,82 @@ class Channel:
         ``ds`` / ``v`` / ``dr`` (the long spellings ``contaminate`` etc.
         are accepted as aliases, exactly as on :class:`Send`).
 
-        Asbestos sends are unreliable, so a call whose request or reply is
-        dropped by a label check would block forever; callers for whom
-        that is possible should use :meth:`call_nowait` plus a timeout at
-        the harness level.  Within the carefully compartment-managed
-        servers in this repository, delivery is reliable in practice
-        (Section 4).
+        Asbestos sends are unreliable: either leg can be silently dropped
+        by a label check, a queue limit, or an injected fault, and with
+        ``deadline=None`` (the default) such a call blocks forever.
+        Passing ``deadline`` (cycles of simulated time) bounds each
+        attempt; the request is then retried ``retries`` more times with
+        the per-attempt deadline growing by ``backoff``× each round, and
+        :class:`CallTimeout` is raised when all attempts are exhausted.
+
+        Every call stamps a fresh per-channel ``req`` number into the
+        payload; servers echo it (``reply_to`` copies ``req`` like
+        ``tag``), and replies carrying a stale ``req`` — duplicates from a
+        slow first attempt that was already retried — are discarded here,
+        so a retried call never returns another request's answer.
         """
+        self._req_seq += 1
+        req = self._req_seq
         payload = dict(payload)
         payload["reply"] = self.port
+        payload["req"] = req
+        attempts = max(1, 1 + retries) if deadline is not None else 1
+        timeout = deadline
+        for attempt in range(attempts):
+            yield Send(port, payload, cs=cs, ds=ds, v=v, dr=dr, **aliases)
+            while True:
+                msg = yield Recv(port=self.port, timeout=timeout)
+                if msg is None:
+                    break  # this attempt timed out
+                if isinstance(msg.payload, dict):
+                    seen = msg.payload.get("req")
+                    if seen is not None and seen != req:
+                        continue  # stale duplicate from an earlier request
+                    # The request number is call() plumbing, not part of
+                    # the caller-visible reply.
+                    msg.payload.pop("req", None)
+                return msg
+            if deadline is None:
+                # Unbounded call woken spuriously; keep waiting.
+                continue
+            if attempt + 1 < attempts:
+                timeout = int(timeout * backoff)
+        raise CallTimeout(port, attempts, deadline or 0)
+
+    def call_nowait(
+        self,
+        port: Handle,
+        payload: Dict[str, Any],
+        cs: Optional[Label] = None,
+        ds: Optional[Label] = None,
+        v: Optional[Label] = None,
+        dr: Optional[Label] = None,
+        **aliases: Optional[Label],
+    ) -> Generator:
+        """Send *payload* with ``reply``/``req`` stamped like :meth:`call`,
+        but return immediately with the ``req`` number instead of waiting.
+
+        Collect the reply later with ``recv(timeout=...)``, matching its
+        payload's ``req`` against the returned number.  For the common
+        bounded-wait case, prefer ``call(..., deadline=...)`` — the real
+        mechanism is the kernel timer behind ``Recv(timeout=...)``, which
+        both paths share.
+        """
+        self._req_seq += 1
+        req = self._req_seq
+        payload = dict(payload)
+        payload["reply"] = self.port
+        payload["req"] = req
         yield Send(port, payload, cs=cs, ds=ds, v=v, dr=dr, **aliases)
-        msg = yield Recv(port=self.port)
+        return req
+
+    def recv(self, block: bool = True, timeout: Optional[int] = None) -> Generator:
+        msg = yield Recv(port=self.port, block=block, timeout=timeout)
         return msg
 
-    def recv(self, block: bool = True) -> Generator:
-        msg = yield Recv(port=self.port, block=block)
-        return msg
+    def sleep(self, cycles: int) -> Generator:
+        """Block for *cycles* of simulated time (retry backoff helper)."""
+        yield Deadline(cycles)
 
 
 def serve_forever(
@@ -90,4 +176,14 @@ def serve_forever(
         if isinstance(msg.payload, dict):
             reply_port = msg.payload.get("reply")
         if result is not None and reply_port is not None:
+            if (
+                isinstance(msg.payload, dict)
+                and isinstance(result, dict)
+                and "req" in msg.payload
+                and "req" not in result
+            ):
+                # Echo the caller's request number so retried calls can
+                # match replies (handlers using reply_to get this free).
+                result = dict(result)
+                result["req"] = msg.payload["req"]
             yield Send(reply_port, result)

@@ -16,6 +16,7 @@ from repro.kernel.message import Message
 from repro.kernel.syscalls import (
     ChangeLabel,
     Compute,
+    Deadline,
     DissociatePort,
     EpCheckpoint,
     EpClean,
@@ -38,6 +39,7 @@ __all__ = [
     "Message",
     "ChangeLabel",
     "Compute",
+    "Deadline",
     "DissociatePort",
     "EpCheckpoint",
     "EpClean",

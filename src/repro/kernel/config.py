@@ -21,6 +21,8 @@ Environment variables (all optional; explicit arguments win):
 ``REPRO_RAM_BYTES``       cap simulated RAM (bytes)
 ``REPRO_METRICS``         enable the observability metrics registry
 ``REPRO_SPANS``           enable span tracing (Chrome trace export)
+``REPRO_FAULTS``          path to a ``faultplan/v1`` JSON fault plan
+``REPRO_FAULT_SEED``      PRNG seed for the fault injector
 ======================== ==============================================
 """
 
@@ -29,7 +31,10 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 #: Valid values for ``label_cost_mode``.
 LABEL_COST_MODES = ("paper", "fused")
@@ -69,7 +74,11 @@ class KernelConfig:
     - observability: ``metrics`` (the :class:`~repro.obs.MetricsRegistry`
       wired through the kernel hot paths), ``spans`` (message/activation
       span recording, exportable as Chrome ``trace_event`` JSON),
-      ``span_limit`` (ring-buffer bound on recorded span events).
+      ``span_limit`` (ring-buffer bound on recorded span events);
+    - fault injection: ``faults`` (a :class:`~repro.faults.plan.FaultPlan`
+      the kernel consults at its choke points) and ``fault_seed`` (the
+      dedicated PRNG seed — the same (plan, seed) pair reproduces the
+      identical fault event sequence).
     """
 
     ram_bytes: Optional[int] = None
@@ -81,6 +90,8 @@ class KernelConfig:
     metrics: bool = False
     spans: bool = False
     span_limit: int = 250_000
+    faults: Optional["FaultPlan"] = None
+    fault_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.label_cost_mode not in LABEL_COST_MODES:
@@ -129,6 +140,16 @@ class KernelConfig:
         ram = _env_int(env, "REPRO_RAM_BYTES")
         if ram is not None:
             values["ram_bytes"] = ram
+        plan_path = env.get("REPRO_FAULTS", "").strip()
+        if plan_path:
+            # Deferred import: repro.faults pulls in kernel-adjacent
+            # modules, and config must stay importable first.
+            from repro.faults.plan import load_plan
+
+            values["faults"] = load_plan(plan_path)
+        seed = _env_int(env, "REPRO_FAULT_SEED")
+        if seed is not None:
+            values["fault_seed"] = seed
         for key, value in overrides.items():
             if value is None and key not in ("ram_bytes",):
                 continue  # "unset": keep the env/default resolution

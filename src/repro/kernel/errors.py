@@ -55,6 +55,7 @@ DROP_DECONT_PRIVILEGE = "decont-privilege"  # requirements (2)/(3)
 DROP_PORT_LABEL = "port-label"            # requirement (4)
 DROP_DEAD_PORT = "dead-port"              # receiver exited / port dissociated
 DROP_QUEUE_LIMIT = "queue-limit"          # resource exhaustion
+DROP_FAULT = "fault-injected"             # repro.faults injected drop
 
 
 @dataclass

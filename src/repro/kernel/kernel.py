@@ -27,6 +27,7 @@ deliverability earlier, since labels change in the meantime (Section 4).
 
 from __future__ import annotations
 
+import heapq
 import warnings
 from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
@@ -44,6 +45,7 @@ from repro.kernel.config import KernelConfig
 from repro.kernel.errors import (
     DROP_DEAD_PORT,
     DROP_DECONT_PRIVILEGE,
+    DROP_FAULT,
     DROP_LABEL_CHECK,
     DROP_PORT_LABEL,
     DROP_QUEUE_LIMIT,
@@ -224,6 +226,7 @@ class Kernel:
                 DROP_PORT_LABEL,
                 DROP_DEAD_PORT,
                 DROP_QUEUE_LIMIT,
+                DROP_FAULT,
             )
         }
         labels = self.metrics.scope("kernel.labels")
@@ -246,6 +249,27 @@ class Kernel:
             from repro.analysis.sanitizer import LabelSanitizer
 
             self.sanitizer = LabelSanitizer(self, strict=config.sanitize_strict)
+
+        # -- kernel timers (Recv timeout / Deadline) ------------------------
+        # Min-heap of (deadline_cycles, serial, task_key, token).  The token
+        # is the blocking syscall object itself; cancellation is lazy — a
+        # timer whose task no longer blocks on that exact token is ignored
+        # when it pops.
+        self._timers: List[Tuple[int, int, str, Any]] = []
+        self._timer_serial = 0
+
+        # -- fault injection (repro.faults) ---------------------------------
+        # Opt in via KernelConfig(faults=FaultPlan(...)) or REPRO_FAULTS=
+        # <plan.json>.  Delayed messages live in a min-heap of
+        # (release_step, serial, enqueue-kwargs) and re-enter _enqueue
+        # fault-exempt when their round comes up.
+        self.faults = None
+        self._delayed: List[Tuple[int, int, Dict[str, Any]]] = []
+        self._delay_serial = 0
+        if config.faults is not None:
+            from repro.faults.injector import FaultInjector
+
+            self.faults = FaultInjector(config.faults, seed=config.fault_seed, kernel=self)
 
     def _hook(self, method: str, *args: Any) -> None:
         for observer in self.hooks:
@@ -274,6 +298,8 @@ class Kernel:
         if self.fork_limiter is not None and parent is not None:
             if not self.fork_limiter(parent):  # type: ignore[arg-type]
                 raise ResourceExhausted("process creation rate limited")
+        if self.faults is not None and self.faults.on_spawn(name, self._steps):
+            raise ResourceExhausted(f"spawn of {name!r} failed (fault injection)")
         self._pid += 1
         space = AddressSpace(self.accountant)
         space.alloc(STACK_PAGES * PAGE_SIZE, "stack")
@@ -325,14 +351,83 @@ class Kernel:
     # -- the run loop ----------------------------------------------------------------
 
     def run(self, max_steps: int = 10_000_000) -> int:
-        """Advance until no task is runnable; returns steps executed."""
+        """Advance until no task is runnable; returns steps executed.
+
+        When the run queue drains but kernel timers (Recv timeouts,
+        Deadline sleeps) or fault-delayed messages are still pending, the
+        clock jumps forward to the next event — simulated time passes with
+        nothing to run, exactly like an idle CPU — and the loop continues.
+        Quiescence means no runnable task, no live timer, and no deferred
+        message.
+        """
         steps = 0
-        while self.scheduler and steps < max_steps:
+        while steps < max_steps:
+            if self._timers:
+                self._fire_due_timers()
+            if not self.scheduler:
+                if not self._advance_idle():
+                    break
+                continue
             self._step()
             steps += 1
         if steps >= max_steps:
             raise SimulationError(f"run did not quiesce within {max_steps} steps")
         return steps
+
+    def _advance_idle(self) -> bool:
+        """Nothing runnable: release the next deferred message or jump the
+        clock to the earliest live timer.  Returns False at quiescence."""
+        if self._delayed:
+            release_step, _, kwargs = heapq.heappop(self._delayed)
+            self._steps = max(self._steps, release_step)
+            self._enqueue(fault_exempt=True, **kwargs)
+            return True
+        while self._timers:
+            deadline, _, key, token = self._timers[0]
+            task = self.tasks.get(key)
+            if task is None or task.state != TaskState.BLOCKED or task.blocked_on is not token:
+                heapq.heappop(self._timers)  # cancelled; purge and look again
+                continue
+            if deadline > self.clock.now:
+                # Idle wait: simulated time passes with no work to do.
+                self.clock.charge(OTHER, deadline - self.clock.now)
+            self._fire_due_timers()
+            return True
+        return False
+
+    def _arm_timer(self, task: Task, token: Any, deadline: int) -> None:
+        self._timer_serial += 1
+        heapq.heappush(self._timers, (deadline, self._timer_serial, task.key, token))
+
+    def _fire_due_timers(self) -> None:
+        """Wake every task whose timer deadline has passed.  Stale timers —
+        the task completed its recv, died, or blocked on something newer —
+        are discarded silently.  A timed-out Recv first retries delivery:
+        only a task with truly nothing deliverable sees the ``None``
+        timeout result (the timer must not race messages already queued)."""
+        while self._timers and self._timers[0][0] <= self.clock.now:
+            _, _, key, token = heapq.heappop(self._timers)
+            task = self.tasks.get(key)
+            if task is None or task.state != TaskState.BLOCKED or task.blocked_on is not token:
+                continue
+            if not self._retry_blocked_recv(task):
+                task.blocked_on = None
+                task.state = TaskState.RUNNABLE
+                task.pending = None
+            if isinstance(task, EventProcess):
+                # A timed-out EP resumes through its base's realm step.
+                self.scheduler.enqueue(task.base.key)
+            else:
+                self.scheduler.enqueue(task.key)
+
+    def _release_due_messages(self) -> None:
+        while self._delayed and self._delayed[0][0] <= self._steps:
+            _, _, kwargs = heapq.heappop(self._delayed)
+            self._enqueue(fault_exempt=True, **kwargs)
+
+    def _defer_enqueue(self, rounds: int, kwargs: Dict[str, Any]) -> None:
+        self._delay_serial += 1
+        heapq.heappush(self._delayed, (self._steps + rounds, self._delay_serial, kwargs))
 
     def _step(self) -> None:
         key = self.scheduler.dequeue()
@@ -343,6 +438,16 @@ class Kernel:
         if self._obs:
             self._m_steps.inc()
             self._m_queue_depth.observe(len(self.scheduler))
+        if self.faults is not None:
+            self.faults.on_step(self, self._steps)
+            if self._delayed:
+                self._release_due_messages()
+            task = self.tasks.get(key)  # kill_ep may have destroyed it
+            if task is None or task.state == TaskState.EXITED:
+                return
+            if self.faults.on_pick(task.name, self._steps):
+                self.scheduler.enqueue(key)  # stalled: loses this turn only
+                return
         if isinstance(task, Process) and task.state == TaskState.EP_REALM:
             self._step_ep_realm(task)
             return
@@ -395,6 +500,14 @@ class Kernel:
                 self.debug_log(task.name, f"crashed: {exc!r}")
                 if self.trace:
                     raise
+                self._task_finished(task, crashed=True)
+                return
+            if self.faults is not None and self.faults.on_syscall(
+                task.key, task.name, self._steps
+            ):
+                # Injected crash: the program dies mid-syscall, exactly as
+                # if its body had raised.
+                self.debug_log(task.name, "crashed: fault injection")
                 self._task_finished(task, crashed=True)
                 return
             self.clock.charge(OTHER, self.clock.cost.syscall_base)
@@ -453,6 +566,14 @@ class Kernel:
                 self.clock.charge(request.category or task.component, request.cycles)
                 task.pending = None
                 return True
+            if isinstance(request, sc.Deadline):
+                if request.cycles <= 0:
+                    task.pending = None
+                    return True
+                task.state = TaskState.BLOCKED
+                task.blocked_on = request
+                self._arm_timer(task, request, self.clock.now + request.cycles)
+                return False
             if isinstance(request, sc.Exit):
                 self._task_finished(task, explicit_exit=True)
                 return False
@@ -586,7 +707,32 @@ class Kernel:
         dr: ChunkedLabel,
         sender_name: str,
         transfer: Tuple[Handle, ...] = (),
+        fault_exempt: bool = False,
     ) -> bool:
+        if self.faults is not None and not fault_exempt:
+            action = self.faults.on_send(sender_name, port, self._steps)
+            if action is not None:
+                what, rounds = action
+                if what == "drop":
+                    # Injected unreliability: indistinguishable from a
+                    # label-check drop to every simulated program.
+                    self._drop(DROP_FAULT, sender_name, f"{port:#x}")
+                    self._kill_transferred(transfer)
+                    return True
+                self._defer_enqueue(
+                    rounds,
+                    dict(
+                        port=port,
+                        payload=payload,
+                        effective_send=effective_send,
+                        ds=ds,
+                        v=v,
+                        dr=dr,
+                        sender_name=sender_name,
+                        transfer=transfer,
+                    ),
+                )
+                return True
         entry = self.ports.get(port)
         if entry is None or not entry.alive:
             self._drop(DROP_DEAD_PORT, sender_name, f"{port:#x}")
@@ -605,6 +751,15 @@ class Kernel:
             payload_bytes=_payload_bytes(payload),
             transfer=transfer,
         )
+        if self.faults is not None:
+            squeeze = self.faults.queue_limit(sender_name, port, self._steps)
+            if squeeze is not None and len(entry.queue) >= squeeze[0]:
+                # Injected queue pressure: behaves exactly like hitting the
+                # real queue limit, but with the squeezed bound.
+                self.faults.note_squeeze_drop(squeeze[1], sender_name, port)
+                self._drop(DROP_QUEUE_LIMIT, sender_name, f"{port:#x}")
+                self._kill_transferred(transfer)
+                return True
         if not entry.enqueue(qmsg):
             self._drop(DROP_QUEUE_LIMIT, sender_name, f"{port:#x}")
             self._kill_transferred(transfer)
@@ -781,6 +936,8 @@ class Kernel:
             return True
         task.state = TaskState.BLOCKED
         task.blocked_on = request
+        if request.timeout is not None:
+            self._arm_timer(task, request, self.clock.now + request.timeout)
         return False
 
     def _retry_blocked_recv(self, task: Task) -> bool:
@@ -789,6 +946,8 @@ class Kernel:
         if request is None:
             task.state = TaskState.RUNNABLE
             return True
+        if isinstance(request, sc.Deadline):
+            return False  # only the timer wakes a sleeper
         delivered = self._pick_and_deliver(task, request.port)
         if delivered is None:
             return False
@@ -1153,6 +1312,9 @@ class Kernel:
         self.processes.pop(process.key, None)
         if process.notify_exit is not None:
             # The obituary: default labels, ordinary delivery checks.
+            # Fault-exempt: the injector models unreliable *user* IPC; the
+            # kernel's own exit notification is the mechanism supervision
+            # (and chaos recovery itself) is built on.
             self._enqueue(
                 port=process.notify_exit,
                 payload={
@@ -1166,6 +1328,7 @@ class Kernel:
                 v=_TOP,
                 dr=_BOTTOM,
                 sender_name="<kernel>",
+                fault_exempt=True,
             )
 
     # -- introspection ----------------------------------------------------------------------

@@ -179,11 +179,18 @@ class Recv(Syscall):
     selects blocking behaviour; a non-blocking recv with nothing
     deliverable returns ``None``.
 
+    ``timeout`` bounds a blocking receive to that many *cycles* of
+    simulated time: if nothing becomes deliverable before the kernel
+    timer fires, the recv returns ``None`` instead of blocking forever.
+    The timer is on virtual time, so timeouts are as deterministic as
+    the rest of the simulation.  ``None`` means block indefinitely.
+
     Result: a :class:`~repro.kernel.message.Message` (or ``None``).
     """
 
     port: Optional[Handle] = None
     block: bool = True
+    timeout: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -324,6 +331,21 @@ class EpClean(Syscall):
 class EpExit(Syscall):
     """Free this event process: private pages, kernel state, receive
     rights.  Does not affect other event processes."""
+
+
+@dataclass(frozen=True)
+class Deadline(Syscall):
+    """Sleep for *cycles* of simulated time.
+
+    The caller blocks until the kernel timer queue reaches
+    ``clock.now + cycles``; no message delivery wakes it early (use
+    ``Recv(timeout=...)`` for that).  This is the primitive behind retry
+    backoff and periodic sweeps.
+
+    Result: ``None``.
+    """
+
+    cycles: int
 
 
 @dataclass(frozen=True)

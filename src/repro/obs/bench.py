@@ -526,3 +526,53 @@ def validate_files(paths: List[str]) -> Dict[str, List[str]]:
             continue
         results[path] = validate(doc)
     return results
+
+
+def guard_files(
+    baseline_paths: List[str],
+    fresh_dir: str,
+    tolerance: float = 0.02,
+) -> List[str]:
+    """Regression guard: compare committed baseline documents against the
+    freshly generated ones in *fresh_dir*, point by point.
+
+    Every ``y`` value of every series in a baseline must be met by the
+    fresh document at ``>= (1 - tolerance)`` of the baseline value — the
+    CI use is pinning fig7 throughput so that machinery riding along in
+    the kernel hot path (fault hooks, timers) cannot quietly tax it.
+    Values above the baseline never fail: the guard is one-sided.
+
+    Returns a list of human-readable problems (empty = guard passes).
+    """
+    problems: List[str] = []
+    for base_path in baseline_paths:
+        name = os.path.basename(base_path)
+        fresh_path = os.path.join(fresh_dir, name)
+        try:
+            with open(base_path) as fh:
+                base = json.load(fh)
+            with open(fresh_path) as fh:
+                fresh = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            problems.append(f"{name}: {err}")
+            continue
+        for series, base_ser in base.get("series", {}).items():
+            fresh_ser = fresh.get("series", {}).get(series)
+            if fresh_ser is None:
+                problems.append(f"{name}: series {series!r} missing from fresh run")
+                continue
+            if fresh_ser.get("x") != base_ser.get("x"):
+                problems.append(f"{name}: series {series!r} x-grid changed")
+                continue
+            for x, base_y, fresh_y in zip(
+                base_ser.get("x", []), base_ser.get("y", []), fresh_ser.get("y", [])
+            ):
+                if not isinstance(base_y, (int, float)) or base_y <= 0:
+                    continue
+                floor = base_y * (1.0 - tolerance)
+                if fresh_y < floor:
+                    problems.append(
+                        f"{name}: {series}@x={x}: {fresh_y:.4f} < "
+                        f"{floor:.4f} (baseline {base_y:.4f} - {tolerance:.0%})"
+                    )
+    return problems

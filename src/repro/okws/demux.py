@@ -44,6 +44,27 @@ SESSION_TABLE_CYCLES_PER_ENTRY = 95
 #: The HTTP response sent on authentication failure.
 FORBIDDEN = {"status": 403, "headers": "HTTP/1.0 403 Forbidden", "body": ""}
 
+#: How long to suggest clients wait before retrying a degraded service
+#: (cycles of simulated time; the launcher's restart backoff is shorter).
+RETRY_AFTER_CYCLES = 500_000_000
+
+#: The HTTP response sent while a service's worker is down or failed.
+#: Degradation, not an error page: the site stays up, the client is told
+#: when to come back (paper §7.1's "more mature launcher", taken further).
+SERVICE_UNAVAILABLE = {
+    "status": 503,
+    "headers": "HTTP/1.0 503 Service Unavailable",
+    "retry_after": RETRY_AFTER_CYCLES,
+    "body": "",
+}
+
+#: Pending-connection sweep: while connections are in flight we receive
+#: with this timeout and time out any that have waited longer than
+#: PENDING_DEADLINE (their READ/LOGIN leg was dropped) with a 503.  With
+#: no pending connections we block indefinitely, preserving quiescence.
+PENDING_SWEEP = 1_400_000_000
+PENDING_DEADLINE = 4 * PENDING_SWEEP
+
 
 @dataclass
 class _PendingConn:
@@ -51,6 +72,7 @@ class _PendingConn:
     conn_id: int
     head: Optional[Dict[str, Any]] = None
     user: Optional[str] = None
+    at: int = 0  # ctx.now at ACCEPT_R, for the stale sweep
 
 
 def demux_body(ctx):
@@ -74,10 +96,22 @@ def demux_body(ctx):
     identities: Dict[str, Tuple[int, Handle, Handle]] = {}
     # in-flight connections, keyed by correlation tag.
     pending: Dict[int, _PendingConn] = {}
+    # services whose worker the launcher gave up on (restart budget blown).
+    failed: set = set()
 
     listening = False
     while True:
-        msg = yield Recv(port=port)
+        msg = yield Recv(port=port, timeout=PENDING_SWEEP if pending else None)
+        if msg is None:
+            # Sweep: any connection stuck this long lost a READ/LOGIN leg
+            # to a drop; answer 503 so the client can retry, not hang.
+            now = ctx.now
+            for tag in [t for t, s in pending.items() if now - s.at > PENDING_DEADLINE]:
+                state = pending.pop(tag)
+                ctx.count("pending_timeouts")
+                yield Send(state.conn, P.request(P.WRITE, data=SERVICE_UNAVAILABLE))
+                yield Send(state.conn, P.request(P.CONTROL, op="close"))
+            continue
         payload = msg.payload
         if not isinstance(payload, dict):
             continue
@@ -112,6 +146,28 @@ def demux_body(ctx):
                 for key in [k for k in sessions if k[1] == service]:
                     del sessions[key]
             workers[service] = payload["port"]
+            failed.discard(service)
+            if "reply" in payload:
+                # Acknowledge so the worker can retry an unlucky REGISTER
+                # instead of leaving the service 503-degraded forever.
+                yield Send(payload["reply"], P.reply_to(payload, ok=True))
+
+        elif mtype == "DOWN":  # launcher: worker died, restart under way
+            service = payload.get("service")
+            ctx.count("worker_down")
+            workers.pop(service, None)
+            # The dead worker's event processes (and session ports) died
+            # with it; routing to them would fork bogus EPs on a corpse.
+            for key in [k for k in sessions if k[1] == service]:
+                del sessions[key]
+
+        elif mtype == "FAILED":  # launcher: restart budget blown, give up
+            service = payload.get("service")
+            ctx.count("worker_failed")
+            failed.add(service)
+            workers.pop(service, None)
+            for key in [k for k in sessions if k[1] == service]:
+                del sessions[key]
 
         elif mtype == "SESSION":  # worker EP announces its session port
             sessions[(payload["uid"], payload["service"])] = payload["port"]
@@ -121,7 +177,7 @@ def demux_body(ctx):
             ctx.count("connects")
             conn = payload["conn"]
             conn_id = payload["conn_id"]
-            pending[conn_id] = _PendingConn(conn=conn, conn_id=conn_id)
+            pending[conn_id] = _PendingConn(conn=conn, conn_id=conn_id, at=ctx.now)
             # Step 3: read the request head to authenticate.
             yield Send(conn, P.request(P.READ, reply=port, tag=conn_id))
 
@@ -158,8 +214,17 @@ def demux_body(ctx):
             service = (state.head or {}).get("service", "")
             entry = expected.get(service)
             wport = workers.get(service)
-            if entry is None or wport is None:
+            if entry is None:
+                # Unknown service: a real 404.
                 yield Send(state.conn, P.request(P.WRITE, data={"status": 404}))
+                yield Send(state.conn, P.request(P.CONTROL, op="close"))
+                continue
+            if wport is None or service in failed:
+                # Known service, worker down (restarting) or failed for
+                # good: degrade gracefully with a 503 + retry hint rather
+                # than hanging the connection on a dead base port.
+                ctx.count("degraded_503")
+                yield Send(state.conn, P.request(P.WRITE, data=SERVICE_UNAVAILABLE))
                 yield Send(state.conn, P.request(P.CONTROL, op="close"))
                 continue
             _, declassifier = entry

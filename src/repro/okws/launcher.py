@@ -15,8 +15,9 @@ ports, the wire, and the kernel.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
@@ -25,13 +26,43 @@ from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
 from repro.kernel.clock import NETWORK, OKDB, OKWS
 from repro.kernel.kernel import Kernel
-from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel, Spawn
+from repro.kernel.errors import ResourceExhausted
+from repro.kernel.syscalls import (
+    Deadline,
+    NewHandle,
+    NewPort,
+    Recv,
+    Send,
+    SetPortLabel,
+    Spawn,
+)
 from repro.okws.demux import demux_body
 from repro.okws.worker import make_worker_body
 from repro.servers.cache import cache_body
 from repro.servers.dbproxy import dbproxy_body
 from repro.servers.idd import idd_body
 from repro.servers.netd import Wire, netd_body
+
+
+# -- supervision policy (all times in cycles of simulated 2.8 GHz time) ----
+
+#: How long the launcher waits for a spawned worker's WORKER_HELLO before
+#: treating the start as failed (generous: covers a full scheduler round
+#: under heavy load).
+WORKER_HELLO_TIMEOUT = 2_800_000_000  # 1 s
+
+#: Base restart backoff; doubles per restart of the same service.
+RESTART_BACKOFF_BASE = 50_000_000  # ~18 ms
+
+#: Maximum restarts per service per boot — after this the service is
+#: marked failed and ok-demux degrades it permanently (503).
+RESTART_BUDGET = 5
+
+#: Restart-storm detection: more than STORM_THRESHOLD restarts of one
+#: service inside STORM_WINDOW marks it failed immediately (a worker that
+#: crashes on arrival would otherwise burn the whole budget in a hot loop).
+STORM_WINDOW = 1_000_000_000  # ~0.36 s
+STORM_THRESHOLD = 3
 
 
 @dataclass
@@ -147,11 +178,16 @@ def launcher_body(ctx):
 
     # --- workers, each with its own verification handle -------------------------------
     configs: Dict[str, ServiceConfig] = {config.name: config for config in services}
+    # Obituaries that arrived while we were pumping for a WORKER_HELLO;
+    # the supervision loop drains these before blocking again.
+    pending_exits: deque = deque()
 
     def start_worker(config: ServiceConfig):
         """Mint a verification handle, tell ok-demux to expect it, spawn
         the worker supervised (we get its obituary), configure it once it
-        says hello."""
+        says hello.  Returns True on a configured start, False when the
+        spawn failed or the worker never said hello in time (its obituary,
+        if any, reaches the supervision loop)."""
         verify_handle = yield NewHandle()
         yield Send(
             demux_port,
@@ -162,14 +198,37 @@ def launcher_body(ctx):
                 declassifier=config.declassifier,
             ),
         )
-        yield Spawn(
-            make_worker_body(config.name, config.handler, config.declassifier),
-            name=f"worker-{config.name}",
-            component=OKWS,
-            env={"launcher_port": port, "okws_no_clean": config.no_clean},
-            notify_exit=port,
-        )
-        hello = yield Recv(port=port)  # WORKER_HELLO
+        try:
+            yield Spawn(
+                make_worker_body(config.name, config.handler, config.declassifier),
+                name=f"worker-{config.name}",
+                component=OKWS,
+                env={"launcher_port": port, "okws_no_clean": config.no_clean},
+                notify_exit=port,
+            )
+        except ResourceExhausted:
+            ctx.log(f"spawn of worker-{config.name} failed")
+            return False
+        # Pump for this worker's hello; any message that is not it (an
+        # obituary, a stale hello from a predecessor) must not be eaten
+        # blindly — under faults message order is not what boot-time code
+        # gets to assume.
+        while True:
+            hello = yield Recv(port=port, timeout=WORKER_HELLO_TIMEOUT)
+            if hello is None:
+                ctx.log(f"worker-{config.name} never said hello")
+                return False
+            payload = hello.payload
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("type") == "EXITED":
+                pending_exits.append(payload)
+                continue
+            if (
+                payload.get("type") == "WORKER_HELLO"
+                and payload.get("service") == config.name
+            ):
+                break
         # Hand the worker its configuration and the verification handle
         # itself, granted at ⋆ (it is the worker's identity compartment).
         yield Send(
@@ -182,6 +241,7 @@ def launcher_body(ctx):
             },
             ds=Label({verify_handle: STAR}, L3),
         )
+        return True
 
     for config in services:
         yield from start_worker(config)
@@ -192,14 +252,31 @@ def launcher_body(ctx):
     ctx.env["dbproxy_port"] = dbproxy_port
     ctx.env["dbproxy_admin_port"] = dbproxy_admin
     ctx.env["cache_port"] = cache_port
+    #: Timestamped restart record: {"service", "at" (cycles), "crashed"}.
     ctx.env["restarts"] = []
+    ctx.env["failed_services"] = []
     ctx.env["ready"] = True
 
     # --- supervision (Section 7.1: "a more mature version of launcher
     # --- could restart dead processes") -----------------------------------------------
+    # Per-service restart accounting: total count (budget), recent
+    # timestamps (storm detection), failed flag (degraded for good).
+    restart_state: Dict[str, Dict[str, Any]] = {
+        name: {"count": 0, "recent": [], "failed": False} for name in configs
+    }
+
+    def mark_failed(service: str) -> Any:
+        restart_state[service]["failed"] = True
+        ctx.env["failed_services"].append(service)
+        ctx.log(f"service {service!r} marked failed; demux will degrade it")
+        yield Send(demux_port, P.request("FAILED", service=service))
+
     while True:
-        msg = yield Recv(port=port)
-        payload = msg.payload
+        if pending_exits:
+            payload = pending_exits.popleft()
+        else:
+            msg = yield Recv(port=port)
+            payload = msg.payload
         if not isinstance(payload, dict) or payload.get("type") != "EXITED":
             continue
         name = payload.get("name", "")
@@ -209,10 +286,34 @@ def launcher_body(ctx):
         config = configs.get(service)
         if config is None:
             continue
-        ctx.env["restarts"].append(service)
-        # A fresh verification handle: the dead worker's identity (and any
-        # leak of it) dies with it; ok-demux's EXPECT is replaced.
-        yield from start_worker(config)
+        state = restart_state[service]
+        if state["failed"]:
+            continue
+        now = ctx.now
+        ctx.env["restarts"].append(
+            {"service": service, "at": now, "crashed": bool(payload.get("crashed"))}
+        )
+        # While the replacement comes up, ok-demux answers 503 instead of
+        # routing connections at a dead base port.
+        yield Send(demux_port, P.request("DOWN", service=service))
+        recent: List[int] = [t for t in state["recent"] if now - t < STORM_WINDOW]
+        recent.append(now)
+        state["recent"] = recent
+        if len(recent) > STORM_THRESHOLD:
+            ctx.log(f"restart storm for {service!r} ({len(recent)} in window)")
+            yield from mark_failed(service)
+            continue
+        # A fresh verification handle each time: the dead worker's identity
+        # (and any leak of it) dies with it; ok-demux's EXPECT is replaced.
+        # Exponential backoff between attempts, enforced on simulated time.
+        started = False
+        while not started:
+            if state["count"] >= RESTART_BUDGET:
+                yield from mark_failed(service)
+                break
+            state["count"] += 1
+            yield Deadline(RESTART_BACKOFF_BASE * (2 ** (state["count"] - 1)))
+            started = yield from start_worker(config)
 
 
 def launch(

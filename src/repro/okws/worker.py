@@ -32,8 +32,10 @@ from repro.ipc import protocol as P
 from repro.ipc.rpc import Channel
 from repro.kernel.memory import PAGE_SIZE
 from repro.kernel.syscalls import (
+    DissociatePort,
     EpCheckpoint,
     EpClean,
+    EpExit,
     EpYield,
     NewPort,
     Recv,
@@ -47,6 +49,23 @@ REQUEST_CYCLES = 260_000
 #: stack, message queue and globals pages this gives the paper's eight
 #: pages per active session, Section 9.1).
 SCRATCH_PAGES = 4
+
+#: Per-attempt deadline on worker RPCs (launcher config, netd reads,
+#: dbproxy/okc replies), in cycles of simulated time.  Deliberately
+#: generous: the clock is global across all concurrent sessions, so this
+#: is a wedge-breaker, not a latency bound.
+RPC_TIMEOUT = 2_800_000_000  # ~1 s
+
+#: Extra attempts after the first for each bounded RPC.
+RPC_RETRIES = 2
+
+#: Degraded response when the request body never arrived or the database
+#: or cache is unreachable: the EP survives, the site stays up.
+DEGRADED = {
+    "status": 503,
+    "headers": "HTTP/1.0 503 Service Unavailable",
+    "body": "",
+}
 
 
 @dataclass
@@ -67,6 +86,34 @@ class WorkerRequest:
     declassifier: bool = False
 
 
+def _bounded_call(
+    chan: Channel,
+    port: Handle,
+    payload: Dict[str, Any],
+    req: str,
+    error: str,
+    **labels: Optional[Label],
+) -> Generator:
+    """Send *payload* (already stamped with ``req``) and await the single
+    reply echoing it, retrying on timeout; replies carrying any other
+    ``req`` are stale leftovers of abandoned requests and are discarded.
+    Raises :class:`DbError` on a server ERROR_R or when every attempt times
+    out.  Streaming exchanges (SELECT) inline their own loop instead."""
+    for _ in range(1 + RPC_RETRIES):
+        yield Send(port, payload, **labels)
+        while True:
+            msg = yield Recv(port=chan.port, timeout=RPC_TIMEOUT)
+            if msg is None:
+                break  # this attempt timed out; send again
+            reply = msg.payload
+            if not isinstance(reply, dict) or reply.get("req") != req:
+                continue
+            if reply.get("type") == P.ERROR_R:
+                raise DbError(reply.get("error", error))
+            return reply
+    raise DbError(f"{error}: timed out")
+
+
 class DbClient:
     """The worker-side interface to ok-dbproxy (Section 7.5).
 
@@ -74,6 +121,13 @@ class DbClient:
     results arrive one contaminated ROW_R at a time; rows belonging to
     other users are silently dropped by the kernel before this client ever
     sees them, so the returned list is exactly what this user may read.
+
+    Every request is bounded by :data:`RPC_TIMEOUT` and retried: an
+    unreliable send must never wedge an event process for good.  SELECTs
+    use a fresh ``req`` per attempt (late rows from an abandoned attempt
+    must not double-count); writes keep one ``req`` across retries so
+    ok-dbproxy can deduplicate a replayed write whose first reply was
+    dropped rather than execute it twice.
     """
 
     def __init__(
@@ -89,27 +143,49 @@ class DbClient:
         self._uid = uid
         self._taint = taint
         self._grant = grant
+        self._seq = 0  # "db-N" req namespace, disjoint from cache/read reqs
 
     def _grant_reply_port(self) -> Label:
         return Label({self._chan.port: STAR}, L3)
 
+    def _next_req(self) -> str:
+        self._seq += 1
+        return f"db-{self._seq}"
+
     def select(self, sql: str, params: tuple = ()) -> Generator:
         """Run a SELECT; returns the list of visible rows."""
-        yield Send(
-            self._dbproxy,
-            P.request(P.QUERY, reply=self._chan.port, sql=sql, params=params, uid=self._uid),
-            ds=self._grant_reply_port(),
-        )
-        rows: List[Dict[str, Any]] = []
-        while True:
-            msg = yield Recv(port=self._chan.port)
-            mtype = msg.payload.get("type")
-            if mtype == P.ROW_R:
-                rows.append(msg.payload["row"])
-            elif mtype == P.DONE_R:
-                return rows
-            elif mtype == P.ERROR_R:
-                raise DbError(msg.payload.get("error", "query failed"))
+        for _ in range(1 + RPC_RETRIES):
+            # Fresh req per attempt: rows of an abandoned attempt that
+            # straggle in later must not be double-counted.
+            req = self._next_req()
+            yield Send(
+                self._dbproxy,
+                P.request(
+                    P.QUERY,
+                    reply=self._chan.port,
+                    sql=sql,
+                    params=params,
+                    uid=self._uid,
+                    req=req,
+                ),
+                ds=self._grant_reply_port(),
+            )
+            rows: List[Dict[str, Any]] = []
+            while True:
+                msg = yield Recv(port=self._chan.port, timeout=RPC_TIMEOUT)
+                if msg is None:
+                    break  # timed out mid-stream; retry from scratch
+                payload = msg.payload
+                if not isinstance(payload, dict) or payload.get("req") != req:
+                    continue  # stale reply from an abandoned request
+                mtype = payload.get("type")
+                if mtype == P.ROW_R:
+                    rows.append(payload["row"])
+                elif mtype == P.DONE_R:
+                    return rows
+                elif mtype == P.ERROR_R:
+                    raise DbError(payload.get("error", "query failed"))
+        raise DbError("query timed out")
 
     def write(self, sql: str, params: tuple = ()) -> Generator:
         """Run an INSERT/UPDATE/DELETE as this user.  The verification
@@ -126,17 +202,27 @@ class DbClient:
         return (yield from self._write(sql, params, verify))
 
     def _write(self, sql: str, params: tuple, verify: Label) -> Generator:
-        yield Send(
+        # One req across retries: ok-dbproxy deduplicates replayed writes
+        # by (reply port, req), so a retry whose predecessor actually
+        # executed (only its reply was dropped) does not run twice.
+        req = self._next_req()
+        reply = yield from _bounded_call(
+            self._chan,
             self._dbproxy,
-            P.request(P.QUERY, reply=self._chan.port, sql=sql, params=params, uid=self._uid),
+            P.request(
+                P.QUERY,
+                reply=self._chan.port,
+                sql=sql,
+                params=params,
+                uid=self._uid,
+                req=req,
+            ),
+            req,
+            "write failed",
             v=verify,
             ds=self._grant_reply_port(),
         )
-        msg = yield Recv(port=self._chan.port)
-        mtype = msg.payload.get("type")
-        if mtype == P.ERROR_R:
-            raise DbError(msg.payload.get("error", "write failed"))
-        return msg.payload.get("rows_affected", 0)
+        return reply.get("rows_affected", 0)
 
 
 class DbError(Exception):
@@ -163,42 +249,58 @@ class CacheClient:
         self._uid = uid
         self._taint = taint
         self._grant = grant
+        self._seq = 0  # "c-N" req namespace, disjoint from db/read reqs
 
     def _grant_reply_port(self) -> Label:
         return Label({self._chan.port: STAR}, L3)
 
+    def _next_req(self) -> str:
+        self._seq += 1
+        return f"c-{self._seq}"
+
     def put(self, key: str, value: Any) -> Generator:
-        """Store *value* under this user."""
+        """Store *value* under this user.  Idempotent, so a retried PUT
+        (same ``req``) replaying after a dropped reply is harmless."""
         verify = Label({self._taint: L3, self._grant: L0}, L2)
-        yield Send(
+        req = self._next_req()
+        yield from _bounded_call(
+            self._chan,
             self._cache,
-            P.request("PUT", reply=self._chan.port, key=key, value=value, uid=self._uid),
+            P.request(
+                "PUT", reply=self._chan.port, key=key, value=value,
+                uid=self._uid, req=req,
+            ),
+            req,
+            "cache put failed",
             v=verify,
             ds=self._grant_reply_port(),
         )
-        msg = yield Recv(port=self._chan.port)
-        if msg.payload.get("type") == P.ERROR_R:
-            raise DbError(msg.payload.get("error", "cache put failed"))
         return True
 
     def put_public(self, key: str, value: Any) -> Generator:
         """Declassify *value* into the public cache (requires uT ⋆ — a
         declassifier worker)."""
-        yield Send(
+        req = self._next_req()
+        yield from _bounded_call(
+            self._chan,
             self._cache,
-            P.request("PUT", reply=self._chan.port, key=key, value=value, uid=self._uid),
+            P.request(
+                "PUT", reply=self._chan.port, key=key, value=value,
+                uid=self._uid, req=req,
+            ),
+            req,
+            "cache put failed",
             v=Label({self._taint: STAR}, L2),
             ds=self._grant_reply_port(),
         )
-        msg = yield Recv(port=self._chan.port)
-        if msg.payload.get("type") == P.ERROR_R:
-            raise DbError(msg.payload.get("error", "cache put failed"))
         return True
 
     def get(self, key: str, owner: Optional[int] = None) -> Generator:
         """Fetch (value, hit) for *key*; ``owner=0`` reads the public
         namespace, default is this user's own entries."""
-        yield Send(
+        req = self._next_req()
+        reply = yield from _bounded_call(
+            self._chan,
             self._cache,
             P.request(
                 "GET",
@@ -206,13 +308,13 @@ class CacheClient:
                 key=key,
                 uid=self._uid,
                 owner=self._uid if owner is None else owner,
+                req=req,
             ),
+            req,
+            "cache get failed",
             ds=self._grant_reply_port(),
         )
-        msg = yield Recv(port=self._chan.port)
-        if msg.payload.get("type") == P.ERROR_R:
-            raise DbError(msg.payload.get("error", "cache get failed"))
-        return msg.payload.get("value"), msg.payload.get("hit", False)
+        return reply.get("value"), reply.get("hit", False)
 
 
 #: A handler is a generator function: (ectx, WorkerRequest) -> response.
@@ -230,12 +332,24 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
     def worker_body(ctx):
         launcher_port = ctx.env["launcher_port"]
         chan = yield from Channel.open()
-        yield Send(
-            launcher_port,
-            P.request("WORKER_HELLO", reply=chan.port, service=service),
-        )
-        setup = yield Recv(port=chan.port)
-        cfg = setup.payload
+        # Say hello until the launcher's config arrives: either leg can be
+        # dropped.  If it never does, exit — our obituary reaches the
+        # launcher's supervision loop and we are restarted fresh.
+        cfg = None
+        for _ in range(1 + RPC_RETRIES):
+            yield Send(
+                launcher_port,
+                P.request("WORKER_HELLO", reply=chan.port, service=service),
+            )
+            setup = yield Recv(port=chan.port, timeout=RPC_TIMEOUT)
+            if setup is None:
+                continue
+            if isinstance(setup.payload, dict) and "verify_handle" in setup.payload:
+                cfg = setup.payload
+                break
+        if cfg is None:
+            ctx.log(f"worker {service!r} never configured; exiting for restart")
+            return
         verify_handle: Handle = cfg["verify_handle"]  # granted at ⋆ via DS
         demux_port: Handle = cfg["demux_port"]
         dbproxy_port: Handle = cfg["dbproxy_port"]
@@ -248,17 +362,47 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
         # The base port: demux sends first-contact CONNECTs here, forking a
         # new event process per session.  Identify ourselves with the
         # verification handle at level 0 (Section 7.1) and grant demux the
-        # right to send to the base port.
+        # right to send to the base port.  Registration is acknowledged and
+        # retried: an unacknowledged REGISTER lost to a drop would leave
+        # ok-demux answering 503 for this service forever.
         base_port = yield NewPort()
-        yield Send(
-            demux_port,
-            P.request(P.REGISTER, service=service, port=base_port),
-            v=Label({verify_handle: L0}, L3),
-            ds=Label({base_port: STAR}, L3),
-        )
+        registered = False
+        for _ in range(1 + RPC_RETRIES):
+            yield Send(
+                demux_port,
+                P.request(
+                    P.REGISTER, service=service, port=base_port,
+                    reply=chan.port, req="reg",
+                ),
+                v=Label({verify_handle: L0}, L3),
+                ds=Label({base_port: STAR}, L3),
+            )
+            while not registered:
+                ack = yield Recv(port=chan.port, timeout=RPC_TIMEOUT)
+                if ack is None:
+                    break  # re-send the REGISTER (idempotent: no sessions yet)
+                if isinstance(ack.payload, dict) and ack.payload.get("req") == "reg":
+                    registered = True
+            if registered:
+                break
+        if not registered:
+            ctx.log(f"worker {service!r} REGISTER never acknowledged; exiting")
+            return
+        # The config channel is done.  Dissociate it: after EpCheckpoint a
+        # message to any base-owned port forks a fresh event process, so a
+        # straggling duplicate on this port would fork a bogus EP whose
+        # crash would kill the whole worker.
+        yield DissociatePort(chan.port)
 
         def event_body(ectx, first_msg):
             payload = first_msg.payload
+            if not isinstance(payload, dict) or "conn" not in payload:
+                # A stray message (a straggling reply outliving its EP,
+                # say) forked a bogus event process: free it quietly
+                # instead of crashing — one crash kills the whole worker.
+                ectx.count("stray_forks")
+                yield EpExit()
+                return
             uid = payload["uid"]
             user = payload["user"]
             taint = payload["taint"]
@@ -288,17 +432,48 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
                 ectx.mem.store("session", {})
 
             msg = first_msg
+            read_seq = 0
             while True:
+                if not isinstance(msg.payload, dict) or "conn" not in msg.payload:
+                    # Resumed by a stray late reply, not a CONNECT: wait
+                    # for a real one.
+                    ectx.count("stray_resumes")
+                    msg = yield EpYield()
+                    continue
                 conn = msg.payload["conn"]
                 head = msg.payload.get("head", {})
                 # Read the request body from netd over uC, granting netd
                 # the right to reply on our channel (step 8 of Figure 5).
-                yield Send(
-                    conn,
-                    P.request(P.READ, reply=ep_chan.port),
-                    ds=Label({ep_chan.port: STAR}, L3),
-                )
-                body_msg = yield Recv(port=ep_chan.port)
+                # Bounded and retried: a dropped READ (or READ_R) must not
+                # wedge the session forever.  Fresh req per attempt so a
+                # straggler from an abandoned read is recognised as stale.
+                body_msg = None
+                for _ in range(1 + RPC_RETRIES):
+                    read_seq += 1
+                    read_req = f"read-{read_seq}"
+                    yield Send(
+                        conn,
+                        P.request(P.READ, reply=ep_chan.port, req=read_req),
+                        ds=Label({ep_chan.port: STAR}, L3),
+                    )
+                    while body_msg is None:
+                        reply = yield Recv(port=ep_chan.port, timeout=RPC_TIMEOUT)
+                        if reply is None:
+                            break  # timed out; re-issue the READ
+                        rp = reply.payload
+                        if not isinstance(rp, dict) or rp.get("req") != read_req:
+                            continue  # stale db/cache/read straggler
+                        body_msg = reply
+                    if body_msg is not None:
+                        break
+                if body_msg is None:
+                    # The connection is unreachable; degrade and move on.
+                    ectx.count("read_abandoned")
+                    yield Send(conn, P.request(P.WRITE, data=dict(DEGRADED)))
+                    if not ectx.env.get("okws_no_clean"):
+                        yield EpClean(keep=("session",))
+                    msg = yield EpYield()
+                    continue
                 body = body_msg.payload.get("data")
 
                 # Scratch memory dirtied by request processing.
@@ -324,7 +499,13 @@ def make_worker_body(service: str, handler: Handler, declassifier: bool = False)
                 )
                 ectx.compute(REQUEST_CYCLES)
                 ectx.count("requests")
-                response = yield from handler(ectx, request)
+                try:
+                    response = yield from handler(ectx, request)
+                except DbError as err:
+                    # Database/cache unreachable: answer degraded instead
+                    # of crashing the EP (and with it the whole worker).
+                    ectx.count("degraded")
+                    response = dict(DEGRADED, error=str(err))
                 ectx.mem.store("session", session)
 
                 yield Send(conn, P.request(P.WRITE, data=response))

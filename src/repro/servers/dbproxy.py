@@ -26,7 +26,7 @@ at ``⋆`` (via BIND), so receiving tainted queries never contaminates it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
@@ -34,7 +34,7 @@ from repro.core.levels import L0, L2, L3, STAR
 from repro.db import sql as S
 from repro.db.engine import Database
 from repro.ipc import protocol as P
-from repro.ipc.rpc import Channel
+from repro.ipc.rpc import CallTimeout, Channel
 from repro.kernel.errors import InvalidArgument
 from repro.kernel.syscalls import ChangeLabel, NewPort, Recv, Send, SetPortLabel
 
@@ -47,6 +47,16 @@ PUBLIC_USER_ID = 0
 ROW_SCAN_CYCLES = 100
 #: Fixed per-query engine cost (parse, plan, result assembly).
 QUERY_BASE_CYCLES = 28_000
+
+#: Per-attempt deadline (cycles of simulated time) on the idd AFFIRM
+#: round trip, and retries after the first attempt.  Without this a
+#: single dropped AFFIRM leg wedges dbproxy — and every worker behind it.
+AFFIRM_TIMEOUT = 1_400_000_000
+AFFIRM_RETRIES = 2
+
+#: Completed writes remembered for replay dedup, keyed (reply port, req).
+#: A retried write whose first reply was dropped must not execute twice.
+WRITE_DEDUP_MAX = 4096
 
 
 def _classify(sql_text: str) -> S.Statement:
@@ -97,6 +107,11 @@ def dbproxy_body(ctx):
     taint_of: Dict[int, Handle] = {}
     grant_of: Dict[int, Handle] = {}
     uid_of_taint: Dict[Handle, int] = {}
+
+    # Replay dedup for retried writes: (reply port, req) -> (reply
+    # payload, reply CS label).  Lets a client retry a write whose reply
+    # was dropped without it executing twice.
+    completed_writes: Dict[Tuple[Handle, Any], Tuple[Dict, Optional[Label]]] = {}
 
     def charge(result) -> None:
         ctx.compute(QUERY_BASE_CYCLES + ROW_SCAN_CYCLES * result.rows_scanned)
@@ -210,6 +225,14 @@ def dbproxy_body(ctx):
             continue
 
         if isinstance(ast, (S.Insert, S.Update, S.Delete)):
+            req = payload.get("req")
+            if req is not None and (reply, req) in completed_writes:
+                # A replayed write we already executed (only its reply was
+                # lost): re-send the recorded reply, do not run it again.
+                ctx.count("write_replays")
+                cached_payload, cached_cs = completed_writes[(reply, req)]
+                yield Send(reply, dict(cached_payload), cs=cached_cs)
+                continue
             uid = username_uid
             taint = taint_of.get(uid)
             grant = grant_of.get(uid)
@@ -227,12 +250,23 @@ def dbproxy_body(ctx):
                         P.reply_to(payload, P.ERROR_R, error="verify label rejected"),
                     )
                     continue
-            # Affirm the binding with idd (Section 7.5).
+            # Affirm the binding with idd (Section 7.5) — bounded: a
+            # dropped AFFIRM leg must fail this write, not wedge dbproxy
+            # (and every worker queued behind it) forever.
             if idd_port is not None:
-                affirmation = yield from chan.call(
-                    idd_port,
-                    P.request("AFFIRM", uid=uid, taint=taint, grant=grant),
-                )
+                try:
+                    affirmation = yield from chan.call(
+                        idd_port,
+                        P.request("AFFIRM", uid=uid, taint=taint, grant=grant),
+                        deadline=AFFIRM_TIMEOUT,
+                        retries=AFFIRM_RETRIES,
+                    )
+                except CallTimeout:
+                    yield Send(
+                        reply,
+                        P.reply_to(payload, P.ERROR_R, error="idd unavailable"),
+                    )
+                    continue
                 if not affirmation.payload.get("ok"):
                     yield Send(
                         reply,
@@ -246,11 +280,13 @@ def dbproxy_body(ctx):
                 yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
                 continue
             charge(result)
-            yield Send(
-                reply,
-                P.reply_to(payload, P.QUERY_R, rows_affected=result.rows_affected),
-                cs=None if declassified else Label({taint: L3}, STAR),
-            )
+            out = P.reply_to(payload, P.QUERY_R, rows_affected=result.rows_affected)
+            out_cs = None if declassified else Label({taint: L3}, STAR)
+            if req is not None:
+                if len(completed_writes) >= WRITE_DEDUP_MAX:
+                    completed_writes.clear()
+                completed_writes[(reply, req)] = (out, out_cs)
+            yield Send(reply, out, cs=out_cs)
             continue
 
         # SELECT: per-row contamination (Section 7.5).

@@ -40,7 +40,13 @@ class HttpResponse:
 
     @property
     def ok(self) -> bool:
-        return isinstance(self.payload, dict) and self.payload.get("status") not in (403, 404)
+        # 503 is graceful degradation (worker down or backend
+        # unreachable), not success.
+        return isinstance(self.payload, dict) and self.payload.get("status") not in (
+            403,
+            404,
+            503,
+        )
 
     @property
     def body(self) -> Any:

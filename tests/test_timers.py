@@ -1,0 +1,210 @@
+"""The kernel timer queue: ``Recv(timeout=...)`` and ``Deadline``.
+
+Timers run on *virtual* time — at quiescence the kernel jumps the clock
+to the next deadline instead of spinning — so timeout behaviour is as
+deterministic as everything else in the simulation.
+"""
+
+from repro.core.labels import Label
+from repro.kernel import Deadline, NewPort, Recv, Send, SetPortLabel
+
+
+def open_port():
+    port = yield NewPort()
+    yield SetPortLabel(port, Label.top())
+    return port
+
+
+def test_recv_timeout_returns_none(kernel):
+    results = []
+
+    def waiter(ctx):
+        port = yield from open_port()
+        start = ctx.now
+        msg = yield Recv(port=port, timeout=1_000_000)
+        results.append((msg, ctx.now - start))
+
+    kernel.spawn(waiter, "waiter")
+    kernel.run()
+    msg, elapsed = results[0]
+    assert msg is None
+    assert elapsed >= 1_000_000
+
+
+def test_recv_timeout_not_taken_when_message_ready(kernel):
+    """A queued deliverable message always beats a due timer.
+
+    The receiver parks on a control port (no timeout, so quiescence
+    cannot fire anything) until the data message is already queued, then
+    does the timed receive — which must return the message, not None.
+    """
+    results = []
+
+    def receiver(ctx):
+        data = yield from open_port()
+        ctrl = yield from open_port()
+        ctx.env["data"], ctx.env["ctrl"] = data, ctrl
+        yield Recv(port=ctrl)  # rendezvous: data is queued by now
+        msg = yield Recv(port=data, timeout=500_000)
+        results.append(msg.payload if msg is not None else None)
+
+    r = kernel.spawn(receiver, "receiver")
+    kernel.run()
+
+    def sender(ctx):
+        yield Send(r.env["data"], "made it")
+        yield Send(r.env["ctrl"], "go")
+
+    kernel.spawn(sender, "sender")
+    kernel.run()
+    assert results == ["made it"]
+
+
+def test_recv_timeout_message_after_sender_sleeps(kernel):
+    """A sender that wakes from its own Deadline *before* the receiver's
+    timeout gets its message through: idle-time jumps go to the earliest
+    timer, not straight to the receiver's."""
+    results = []
+
+    def receiver(ctx):
+        data = yield from open_port()
+        ctrl = yield from open_port()
+        ctx.env["data"], ctx.env["ctrl"] = data, ctrl
+        yield Recv(port=ctrl)
+        msg = yield Recv(port=data, timeout=10_000_000)
+        results.append(msg.payload if msg is not None else None)
+
+    r = kernel.spawn(receiver, "receiver")
+    kernel.run()
+
+    def sleepy_sender(ctx):
+        yield Send(r.env["ctrl"], "go")
+        yield Deadline(1_000_000)
+        yield Send(r.env["data"], "late but in time")
+
+    kernel.spawn(sleepy_sender, "sleepy")
+    kernel.run()
+    assert results == ["late but in time"]
+
+
+def test_recv_timeout_expires_before_late_sender(kernel):
+    """Symmetric case: the sender sleeps *past* the receiver's timeout,
+    so the receive times out first; a later receive picks the message up."""
+    results = []
+
+    def receiver(ctx):
+        data = yield from open_port()
+        ctrl = yield from open_port()
+        ctx.env["data"], ctx.env["ctrl"] = data, ctrl
+        yield Recv(port=ctrl)
+        msg = yield Recv(port=data, timeout=1_000_000)
+        results.append(msg)
+        msg = yield Recv(port=data, timeout=50_000_000)
+        results.append(msg.payload if msg is not None else None)
+
+    r = kernel.spawn(receiver, "receiver")
+    kernel.run()
+
+    def very_sleepy(ctx):
+        yield Send(r.env["ctrl"], "go")
+        yield Deadline(10_000_000)
+        yield Send(r.env["data"], "straggler")
+
+    kernel.spawn(very_sleepy, "very-sleepy")
+    kernel.run()
+    assert results == [None, "straggler"]
+
+
+def test_deadline_advances_virtual_time(kernel):
+    marks = []
+
+    def sleeper(ctx):
+        start = ctx.now
+        yield Deadline(7_000_000)
+        marks.append(ctx.now - start)
+
+    kernel.spawn(sleeper, "sleeper")
+    kernel.run()
+    assert marks[0] >= 7_000_000
+
+
+def test_deadlines_fire_in_order(kernel):
+    """Independent sleepers wake in deadline order, not spawn order."""
+    order = []
+
+    def sleeper(name, cycles):
+        def body(ctx):
+            yield Deadline(cycles)
+            order.append(name)
+
+        return body
+
+    kernel.spawn(sleeper("slow", 9_000_000), "slow")
+    kernel.spawn(sleeper("fast", 1_000_000), "fast")
+    kernel.spawn(sleeper("medium", 5_000_000), "medium")
+    kernel.run()
+    assert order == ["fast", "medium", "slow"]
+
+
+def test_idle_clock_jumps_to_next_timer(kernel):
+    """At quiescence the kernel jumps straight to the pending deadline —
+    a long sleep costs simulated time, not host work (steps)."""
+
+    def sleeper(ctx):
+        yield Deadline(2_800_000_000)  # ~1 simulated second
+
+    kernel.spawn(sleeper, "sleeper")
+    before = kernel.steps_executed
+    kernel.run()
+    assert kernel.clock.now >= 2_800_000_000
+    # The jump is O(1): a handful of scheduler steps, not one per cycle.
+    assert kernel.steps_executed - before < 50
+
+
+def test_timeout_zero_polls(kernel):
+    """timeout=0 expires at the first quiescent moment: a poll that
+    still yields to the scheduler."""
+    results = []
+
+    def poller(ctx):
+        port = yield from open_port()
+        msg = yield Recv(port=port, timeout=0)
+        results.append(msg)
+
+    kernel.spawn(poller, "poller")
+    kernel.run()
+    assert results == [None]
+
+
+def test_stale_timer_does_not_wake_later_recv(kernel):
+    """A timer whose receive already completed must not fire into the
+    task's *next* blocking receive (lazy cancellation is invisible)."""
+    results = []
+
+    def receiver(ctx):
+        data = yield from open_port()
+        ctrl = yield from open_port()
+        ctx.env["data"], ctx.env["ctrl"] = data, ctrl
+        yield Recv(port=ctrl)
+        # First recv: satisfied immediately by the already-queued message,
+        # leaving its timer (deadline now+100M) stale in the queue.
+        msg = yield Recv(port=data, timeout=100_000_000)
+        results.append(msg.payload)
+        # Second recv with no timeout: were the stale timer to fire into
+        # it, we would see a spurious None and crash on .payload below.
+        msg = yield Recv(port=data)
+        results.append(msg.payload)
+
+    r = kernel.spawn(receiver, "receiver")
+    kernel.run()
+
+    def sender(ctx):
+        yield Send(r.env["data"], "one")
+        yield Send(r.env["ctrl"], "go")
+        # Outlive the first timer's deadline, then send the second.
+        yield Deadline(200_000_000)
+        yield Send(r.env["data"], "two")
+
+    kernel.spawn(sender, "sender")
+    kernel.run()
+    assert results == ["one", "two"]
