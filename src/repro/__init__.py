@@ -63,6 +63,10 @@ __all__ = [
     "FaultPlan",
     "load_plan",
     "run_campaign",
+    # the interned-label fast path (repro.core.interning, DESIGN.md §11)
+    "InternTable",
+    "LabelOpCache",
+    "global_intern_table",
     "__version__",
 ]
 
@@ -78,6 +82,9 @@ _LAZY = {
     "analyze_paths": ("repro.analysis.asblint", "analyze_paths"),
     "run_check": ("repro.analysis.check", "run_check"),
     "record_okws_topology": ("repro.okws.topology", "record_okws_topology"),
+    "InternTable": ("repro.core.interning", "InternTable"),
+    "LabelOpCache": ("repro.core.interning", "LabelOpCache"),
+    "global_intern_table": ("repro.core.interning", "global_intern_table"),
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "load_plan": ("repro.faults", "load_plan"),
     "run_campaign": ("repro.faults", "run_campaign"),

@@ -1,0 +1,529 @@
+"""Hash-consed labels and the kernel's label-operation cache.
+
+A series of label operations accompanies every IPC, and the asbcheck
+model checker (``repro.analysis.check``) already demonstrated offline
+that interning labels and memoizing the Figure 4 firings turns minutes
+of label algebra into sub-second runs.  This module brings the same two
+ideas to the *live* kernel:
+
+- :class:`InternTable` hash-conses :class:`~repro.core.chunks.ChunkedLabel`
+  instances: structurally equal labels (same canonical entry tuple and
+  default) share one canonical instance carrying a process-unique integer
+  ``intern_id``.  Labels are immutable, so canonical instances are safe to
+  share between every kernel in the process — and safe to key caches on
+  forever, because a given id can never come to mean a different label.
+- :class:`LabelOpCache` is a bounded LRU over interned ids for the three
+  Figure 4 operations on the IPC hot path — the :func:`~repro.core.
+  labelops.check_send` delivery verdict, the :func:`~repro.core.labelops.
+  apply_send_effects` contamination result, and the :func:`~repro.core.
+  labelops.raise_receive` result.  Interned ids make the cache key a
+  tuple of small ints, and immutability makes the cache *invalidation
+  free*: entries are only ever evicted for space, never for correctness.
+
+Exact keys alone are not enough on a loaded OKWS site: every accepted
+connection grants a fresh port capability, so the labels of netd, the
+demux and the workers each carry a churning set of per-connection ``*``
+entries on top of a per-user core that does reach a fixed point.  An
+exact-key cache therefore misses on precisely the operations that scan
+the big labels.  The fix is **⋆-factored keys**, justified by three
+little theorems about Figure 4 (each checked against the reference
+operators by ``tests/test_conformance.py``):
+
+T1 (receiver ``*`` immunity).  ``apply_send_effects`` maps every handle
+    the receiver holds at ``*`` to ``*`` (``min(*, ·) = *`` in both the
+    grant and the contamination term), independent of ES and DS there.
+    So ``effects(QS, ES, DS) = overlay(effects(QS°, ES, DS), stars(QS))``
+    unconditionally, where ``QS°`` drops QS's explicit ``*`` entries and
+    ``overlay`` writes them back into the result.
+
+T2 (``*`` passes checks).  An ES entry at ``*`` can never fail
+    ``ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR``.  Stripping it reverts the handle to
+    ES's default, which also passes whenever every level on the
+    right-hand side's lowering components (QR, V, pR — DR only ever
+    *raises* the bound) is ≥ ES's default.  Under that side condition the
+    verdict is a pure function of the ⋆-free ES, so the check may key on
+    it.  Sends that rely on a ``*`` capability against a pinned-low port
+    label (``pR(uC) = 0``) fail the side condition and take the exact
+    path — capability checks are never cached across connections.
+
+T3 (``⊔`` absorbs ``*``).  ``max(q, *) = q``, so QR's ``*`` entries
+    survive ``QR ⊔ DR`` verbatim and can be overlaid back onto a result
+    computed on QR's core — provided DR's default is ``*``.  A DR
+    explicit entry landing *on* a QR star is admissible when it is
+    ≥ QR's default: the full join gives DR(h) there and the core join
+    ``max(QR.default, DR(h))`` reproduces it, so the overlay simply
+    skips that handle (a taint raise punching through a held ``*``).
+    DR itself always stays exact in the key: dropping one of *its*
+    ``*`` entries would revert that handle to DR's default, a different
+    join wherever the default exceeds QR.  This factoring is what
+    serves ``ES = PS ⊔ CS`` at send time, where PS is the privileged
+    sender's star-heavy label and CS a tiny contamination with a ``*``
+    default.
+
+T4 (fresh-pin abstraction).  The one send T2 rightly refuses — a
+    capability send against a pinned-low port label — churns its key
+    anyway, because the *port label* is a fresh intern per connection.
+    But every label operation is equivariant under handle renaming, and
+    when QR and V cannot dip below ES's default anywhere, a pR explicit
+    entry below ES's default that is covered by a held ES star is exempt
+    from the check while its handle appears nowhere else the verdict can
+    see.  The verdict is then a pure function of (ES's core, QR, DR, V,
+    pR with those pins abstracted to their bare levels), so the cache
+    keys on that — and the per-connection conn-port handle drops out of
+    the key entirely.  The miss still computes on the exact full
+    operands; only the *key* abstracts.
+
+In the steady state of a loaded server the ⋆-free cores on the hot path
+reach a per-user fixed point, so nearly every delivery becomes three LRU
+probes plus an O(live connections) star overlay instead of three
+O(users) label merges.  The overlay itself is an artifact of the
+simulation: a kernel that adopted this design would *store* labels in
+factored form and never materialise the union (DESIGN.md §11).
+
+The table holds its canonical labels through weak references, so labels
+whose last kernel dies are garbage collected with it; ids are issued from
+a module-wide counter, so no two labels ever share an id even across
+distinct tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+import weakref
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import labelops
+from repro.core.chunks import ChunkedLabel, OpStats
+from repro.core.labels import Label
+from repro.core.levels import STAR
+
+__all__ = [
+    "InternTable",
+    "LabelOpCache",
+    "global_intern_table",
+    "DEFAULT_CACHE_SIZE",
+]
+
+#: Default bound on the number of memoized operation results.
+DEFAULT_CACHE_SIZE = 4096
+
+#: Process-wide id source: ids stay unique even across distinct tables,
+#: so a cache can never be confused by labels interned elsewhere.
+_ids = itertools.count()
+
+#: Largest small-side operand the ⋆-factoring side conditions will walk
+#: when testing star-set disjointness; beyond this the op falls back to
+#: exact keys (both operands huge never happens on the OKWS hot path).
+_DISJOINT_LIMIT = 128
+
+
+class InternTable:
+    """Hash-conses chunked labels to canonical, id-carrying instances.
+
+    ``intern`` is idempotent and cheap for already-interned labels (one
+    attribute test); a first-time intern costs one pass over the label's
+    entries to build the canonical key.  Canonical instances are held
+    weakly: a label referenced by no live kernel is collectable, and a
+    later intern of the same value simply issues a fresh id.
+
+    The table also memoizes each interned label's ⋆-free core (its
+    :meth:`~repro.core.chunks.ChunkedLabel.without_stars` projection,
+    interned) in a small LRU — cores are what the operation cache keys
+    on, and privileged labels are re-split on every message.
+    """
+
+    #: Bound on the star-core memo (value = 4 × the default op cache).
+    CORE_MEMO_SIZE = 4 * DEFAULT_CACHE_SIZE
+
+    def __init__(self) -> None:
+        self._canonical: "weakref.WeakValueDictionary[Tuple[Any, ...], ChunkedLabel]" = (
+            weakref.WeakValueDictionary()
+        )
+        self._cores: "OrderedDict[int, ChunkedLabel]" = OrderedDict()
+        #: Labels given a fresh id by this table (intern misses).
+        self.interned = 0
+        #: Calls that had to build a key (label not already canonical).
+        self.lookups = 0
+
+    def intern(self, label: ChunkedLabel) -> ChunkedLabel:
+        """Return the canonical instance for *label*'s value."""
+        if label.intern_id is not None:
+            return label
+        self.lookups += 1
+        key = (label.default, tuple(label.iter_entries()))
+        canonical = self._canonical.get(key)
+        if canonical is not None:
+            return canonical
+        label.intern_id = next(_ids)
+        self._canonical[key] = label
+        self.interned += 1
+        return label
+
+    def intern_label(self, label: Label) -> ChunkedLabel:
+        """Intern a plain :class:`~repro.core.labels.Label`."""
+        return self.intern(ChunkedLabel.from_label(label))
+
+    def star_core(self, label: ChunkedLabel) -> ChunkedLabel:
+        """The interned ⋆-free core of an interned *label* (memoized).
+
+        Returns *label* itself when it has no explicit ``*`` entries (or
+        a ``*`` default, where explicit stars cannot canonically occur).
+        """
+        core = label.without_stars()
+        if core is label:
+            return label
+        memo = self._cores.get(label.intern_id)
+        if memo is not None:
+            self._cores.move_to_end(label.intern_id)
+            return memo
+        core = self.intern(core)
+        self._cores[label.intern_id] = core
+        if len(self._cores) > self.CORE_MEMO_SIZE:
+            self._cores.popitem(last=False)
+        return core
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+
+_GLOBAL = InternTable()
+
+
+def global_intern_table() -> InternTable:
+    """The process-wide intern table every interning kernel shares."""
+    return _GLOBAL
+
+
+#: Distinguishes "not cached" from a cached ``False`` verdict.
+_MISSING: Any = object()
+
+# Operation tags (first element of every cache key).
+_CHECK = 0
+_EFFECTS = 1
+_RAISE = 2
+
+
+class LabelOpCache:
+    """Bounded LRU memo for the three Figure 4 hot operations.
+
+    Keys are tuples of interned label ids — with star-heavy operands
+    replaced by their ⋆-free cores wherever the factoring theorems in the
+    module docstring apply, so per-connection capability churn does not
+    defeat the memo.  Values are either a verdict (``check_send``) or a
+    canonical interned result label; results computed on cores are
+    rebuilt by overlaying the receiver's star set back (a sparse update
+    over the live-connection handles, not an O(users) merge).  Because
+    interned labels are immutable, a hit is always exact — there is no
+    invalidation protocol, only LRU eviction for space.
+
+    Every public method returns ``(result, hit)`` so the kernel can bill
+    a flat probe cost for hits and the full operation cost for misses.
+    On a miss the underlying :mod:`repro.core.labelops` operation runs
+    with the caller's :class:`~repro.core.chunks.OpStats`, so executed
+    work stays visible to the cycle model and the metrics — the
+    reconciliation invariant is ``hits + misses == lookups`` and
+    "operations recorded by OpStats through this cache == misses".
+    """
+
+    def __init__(
+        self,
+        size: int = DEFAULT_CACHE_SIZE,
+        table: Optional[InternTable] = None,
+    ) -> None:
+        if size <= 0:
+            raise ValueError(f"cache size must be positive, got {size}")
+        self.size = size
+        self.table = table if table is not None else global_intern_table()
+        self._memo: "OrderedDict[Tuple[Any, ...], Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: The operand tuple the last miss actually ran :mod:`labelops`
+        #: on (⋆-stripped wherever a factoring applied).  The kernel's
+        #: paper cost model bills misses from these — the executed
+        #: operation — rather than the full operands.
+        self.last_executed: Optional[Tuple[ChunkedLabel, ...]] = None
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def __len__(self) -> int:
+        return len(self._memo)
+
+    def counters(self) -> Dict[str, int]:
+        """Plain-data snapshot for kernel_snapshot / tests."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._memo),
+            "size": self.size,
+        }
+
+    def _probe(self, key: Tuple[Any, ...]) -> Any:
+        got = self._memo.get(key, _MISSING)
+        if got is not _MISSING:
+            self._memo.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return got
+
+    def _store(self, key: Tuple[Any, ...], value: Any) -> None:
+        self._memo[key] = value
+        if len(self._memo) > self.size:
+            self._memo.popitem(last=False)
+            self.evictions += 1
+
+    def _overlay(
+        self,
+        core_result: ChunkedLabel,
+        source: ChunkedLabel,
+        skip: Optional[set] = None,
+        extra: Optional[set] = None,
+    ) -> ChunkedLabel:
+        """Write *source*'s explicit ``*`` entries back into a result that
+        was computed on its ⋆-free core (minus the handles in *skip*,
+        where the other operand legitimately overrode the star; plus the
+        handles in *extra* — capability grants the stripped operands
+        could not express).
+
+        Deliberately billed to nobody (no OpStats): a kernel that adopted
+        the factored representation would *store* ``(core, star set)``
+        pairs and maintain the star set in O(1) at grant/drop time — the
+        materialised union only exists so the simulation's labels stay
+        bit-comparable with the uncached kernel's (DESIGN.md §11).
+        """
+        stars = {
+            h: STAR
+            for h, lvl in source.iter_entries()
+            if lvl == STAR and (skip is None or h not in skip)
+        }
+        if extra is not None:
+            for h in extra:
+                stars[h] = STAR
+        return self.table.intern(labelops.sparse_update(core_result, stars, None))
+
+    # -- the three Figure 4 hot operations ------------------------------------
+
+    def check_send(
+        self,
+        es: ChunkedLabel,
+        qr: ChunkedLabel,
+        dr: ChunkedLabel,
+        v: ChunkedLabel,
+        pr: ChunkedLabel,
+        stats: Optional[OpStats] = None,
+    ) -> Tuple[bool, bool]:
+        """Memoized ``ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR`` verdict."""
+        intern = self.table.intern
+        es, qr, dr = intern(es), intern(qr), intern(dr)
+        v, pr = intern(v), intern(pr)
+        # T2: an ES entry at ⋆ always passes; stripping it reverts the
+        # handle to ES's default, which passes too iff the bound
+        # min(max(QR, DR), V, pR) stays ≥ that default at the handle.  So
+        # the verdict is a pure function of the ⋆-free ES whenever that
+        # holds at *every* ES star.  Tested by walking whichever side is
+        # smaller — the ES star set, or the explicit entries of the
+        # right-hand side plus one comparison at the defaults (the
+        # conservative variant).  A capability send against a pinned-low
+        # port label (pR(uC) = 0) genuinely depends on the ⋆ and fails
+        # both walks: it is checked exactly, uncached.
+        es_key = es          # key component for the ES position
+        exec_es = es         # what labelops runs on if we miss
+        pr_key: Any = pr.intern_id
+        if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
+            e0 = es.default
+            qr_ok = min(qr.default, qr.explicit_min) >= e0
+            v_ok = min(v.default, v.explicit_min) >= e0
+            if qr_ok and v_ok and min(pr.default, pr.explicit_min) >= e0:
+                # Global gate: nothing on the right-hand side dips below
+                # ES's default anywhere, so every star strips (O(1)).
+                es_key = exec_es = self.table.star_core(es)
+            else:
+                core = self.table.star_core(es)
+                n_stars = len(es) - len(core)
+                if n_stars <= 16:
+                    if all(
+                        lvl != STAR
+                        or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
+                        for h, lvl in es.iter_entries()
+                    ):
+                        es_key = exec_es = core
+                elif len(qr) + len(dr) + len(v) + len(pr) <= _DISJOINT_LIMIT:
+                    if e0 <= min(
+                        max(qr.default, dr.default), v.default, pr.default
+                    ) and all(
+                        es(h) != STAR
+                        or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
+                        for label in (qr, dr, v, pr)
+                        for h, _ in label.iter_entries()
+                    ):
+                        es_key = exec_es = core
+                if es_key is es and qr_ok and v_ok and pr.default >= e0 and len(pr) <= 8:
+                    # T4: the capability send that T2 refuses.  When only
+                    # pR's explicit entries can push the bound below ES's
+                    # default, a low entry covered by a held ES star (the
+                    # pinned-port pin, pR(uC) = 0 against ⋆(uC)) is exempt
+                    # from the check and its fresh handle appears nowhere
+                    # else the verdict can see — so the verdict is
+                    # invariant under renaming it.  Key on pR with those
+                    # pins abstracted to their bare levels (plus ES's
+                    # core); the miss still computes on the exact full
+                    # operands.
+                    high = []
+                    lows = []
+                    for h, lvl in pr.iter_entries():
+                        if lvl < e0 and es(h) == STAR:
+                            lows.append(lvl)
+                        else:
+                            high.append((h, lvl))
+                    if lows:
+                        es_key = core
+                        pr_key = (pr.default, tuple(high), tuple(sorted(lows)))
+        key = (
+            _CHECK,
+            es_key.intern_id,
+            qr.intern_id,
+            dr.intern_id,
+            v.intern_id,
+            pr_key,
+        )
+        got = self._probe(key)
+        if got is not _MISSING:
+            return got, True
+        verdict = labelops.check_send(exec_es, qr, dr, v, pr, stats)
+        self._store(key, verdict)
+        self.last_executed = (exec_es, qr, dr, v, pr)
+        return verdict, False
+
+    def apply_send_effects(
+        self,
+        qs: ChunkedLabel,
+        es: ChunkedLabel,
+        ds: ChunkedLabel,
+        stats: Optional[OpStats] = None,
+    ) -> Tuple[ChunkedLabel, bool]:
+        """Memoized ``QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS*)`` result (canonical)."""
+        intern = self.table.intern
+        qs, es, ds = intern(qs), intern(es), intern(ds)
+        # T1: the receiver's ⋆ entries come back out as ⋆ no matter what
+        # ES and DS say there, so compute on the core and overlay.
+        qs_core = self.table.star_core(qs)
+        # ES's ⋆ entries are inert too, provided reverting each ⋆ handle
+        # to ES's default changes nothing pointwise: at a handle h with
+        # ES(h) = *, stripped-vs-full agree iff QS(h) = * (immunity) or
+        # ES's default would contaminate past min(QS(h), DS(h)) anyway.
+        # The one other case — DS(h) = * too, the capability *grant*,
+        # where the full op yields * but the stripped one would
+        # contaminate — is factored out instead: the handle joins the
+        # star overlay, and the stripped computation runs on what is
+        # usually an empty core.  Tested at the defaults for the
+        # implicit handles and pointwise at every explicit entry of QS°
+        # and DS.
+        es_key = es
+        grants: Optional[set] = None
+        if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
+            e0 = es.default
+            safe = qs.default == STAR or e0 <= min(qs.default, ds.default)
+            if safe and len(qs_core) + len(ds) <= _DISJOINT_LIMIT:
+                ok = True
+                for label in (qs_core, ds):
+                    for h, _ in label.iter_entries():
+                        if es(h) != STAR or qs(h) == STAR:
+                            continue
+                        if ds(h) == STAR:
+                            if grants is None:
+                                grants = set()
+                            grants.add(h)
+                        elif e0 > min(qs(h), ds(h)):
+                            ok = False
+                            break
+                    if not ok:
+                        break
+                if ok:
+                    es_key = self.table.star_core(es)
+                else:
+                    grants = None
+        key = (_EFFECTS, qs_core.intern_id, es_key.intern_id, ds.intern_id)
+        got = self._probe(key)
+        if got is not _MISSING:
+            core_result, hit = got, True
+        else:
+            core_result = intern(labelops.apply_send_effects(qs_core, es_key, ds, stats))
+            self._store(key, core_result)
+            self.last_executed = (qs_core, es_key, ds)
+            hit = False
+        if grants is None:
+            if qs_core is qs:
+                return core_result, hit
+            if core_result is qs_core:
+                # Identity effect on the core ⇒ identity on the full label.
+                return qs, hit
+        return self._overlay(core_result, qs, None, grants), hit
+
+    def raise_receive(
+        self,
+        qr: ChunkedLabel,
+        dr: ChunkedLabel,
+        stats: Optional[OpStats] = None,
+    ) -> Tuple[ChunkedLabel, bool]:
+        """Memoized ``QR ⊔ DR`` result (canonical interned label).
+
+        Also serves ``ES = PS ⊔ CS`` at send time — the same ⊔, with PS
+        in the QR position carrying the sender's ``*`` capabilities.
+        """
+        intern = self.table.intern
+        qr, dr = intern(qr), intern(dr)
+        # T3: QR's ⋆ entries survive the ⊔ verbatim (max(*, DR(h)) = * when
+        # DR is * there) and can be overlaid back, provided DR's default is
+        # *.  A DR explicit entry *on* a QR star is still fine when it is
+        # ≥ QR's default: there the full join yields DR(h), and the core
+        # join max(QR.default, DR(h)) reproduces exactly that — the overlay
+        # just has to skip the handle instead of forcing it back to ⋆ (this
+        # is how a contamination raise punches through a held capability,
+        # e.g. netd's ES picking up a taint it holds the ⋆ for).  DR stays
+        # exact in the key: dropping one of *its* ⋆ entries would revert
+        # that handle to DR's default, which is a different join whenever
+        # the default exceeds QR at the handle.
+        qr_core = qr
+        masked: Optional[set] = None
+        if (
+            qr.level_mask & 1
+            and qr.default != STAR
+            and dr.default == STAR
+            and len(dr) <= _DISJOINT_LIMIT
+        ):
+            q0 = qr.default
+            ok = True
+            for h, lvl in dr.iter_entries():
+                if qr(h) == STAR:
+                    if lvl >= q0:
+                        if masked is None:
+                            masked = set()
+                        masked.add(h)
+                    else:
+                        ok = False
+                        break
+            if ok:
+                qr_core = self.table.star_core(qr)
+            else:
+                masked = None
+        key = (_RAISE, qr_core.intern_id, dr.intern_id)
+        got = self._probe(key)
+        if got is not _MISSING:
+            core_result, hit = got, True
+        else:
+            core_result = intern(labelops.raise_receive(qr_core, dr, stats))
+            self._store(key, core_result)
+            self.last_executed = (qr_core, dr)
+            hit = False
+        if qr_core is qr:
+            return core_result, hit
+        if masked is None and core_result is qr_core:
+            return qr, hit
+        return self._overlay(core_result, qr, masked), hit

@@ -75,6 +75,8 @@ class CostModel:
     spawn: int = 450_000               # full process creation
     handle_alloc: int = 900            # new_handle (cipher + vnode insert)
     port_alloc: int = 1_600            # new_port
+    labelop_cache_hit: int = 120       # interned-id LRU probe replacing a
+                                       # full Figure 4 label operation
 
     def label_work(self, stats: OpStats) -> int:
         """Convert an OpStats record into cycles."""

@@ -23,6 +23,8 @@ Environment variables (all optional; explicit arguments win):
 ``REPRO_SPANS``           enable span tracing (Chrome trace export)
 ``REPRO_FAULTS``          path to a ``faultplan/v1`` JSON fault plan
 ``REPRO_FAULT_SEED``      PRNG seed for the fault injector
+``REPRO_INTERN_LABELS``   hash-cons labels + memoize Figure 4 hot ops
+``REPRO_LABELOP_CACHE``   bound on the label-op cache (entries)
 ======================== ==============================================
 """
 
@@ -78,7 +80,13 @@ class KernelConfig:
     - fault injection: ``faults`` (a :class:`~repro.faults.plan.FaultPlan`
       the kernel consults at its choke points) and ``fault_seed`` (the
       dedicated PRNG seed — the same (plan, seed) pair reproduces the
-      identical fault event sequence).
+      identical fault event sequence);
+    - the interned-label fast path (DESIGN.md §11): ``intern_labels``
+      hash-conses every kernel-resident label through the process-wide
+      :class:`~repro.core.interning.InternTable` and memoizes the three
+      Figure 4 hot operations in a bounded LRU
+      :class:`~repro.core.interning.LabelOpCache` of
+      ``labelop_cache_size`` entries.
     """
 
     ram_bytes: Optional[int] = None
@@ -92,6 +100,8 @@ class KernelConfig:
     span_limit: int = 250_000
     faults: Optional["FaultPlan"] = None
     fault_seed: int = 0
+    intern_labels: bool = False
+    labelop_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         if self.label_cost_mode not in LABEL_COST_MODES:
@@ -103,6 +113,10 @@ class KernelConfig:
             raise ValueError(f"ram_bytes must be positive, got {self.ram_bytes}")
         if self.span_limit <= 0:
             raise ValueError(f"span_limit must be positive, got {self.span_limit}")
+        if self.labelop_cache_size <= 0:
+            raise ValueError(
+                f"labelop_cache_size must be positive, got {self.labelop_cache_size}"
+            )
 
     @classmethod
     def from_env(
@@ -150,6 +164,12 @@ class KernelConfig:
         seed = _env_int(env, "REPRO_FAULT_SEED")
         if seed is not None:
             values["fault_seed"] = seed
+        intern = _env_bool(env, "REPRO_INTERN_LABELS")
+        if intern is not None:
+            values["intern_labels"] = intern
+        cache_size = _env_int(env, "REPRO_LABELOP_CACHE")
+        if cache_size is not None:
+            values["labelop_cache_size"] = cache_size
         for key, value in overrides.items():
             if value is None and key not in ("ram_bytes",):
                 continue  # "unset": keep the env/default resolution

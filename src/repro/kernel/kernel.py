@@ -233,6 +233,9 @@ class Kernel:
         self._m_label_fast = labels.counter("fast_path")
         self._m_label_full = labels.counter("full_merges")
         self._m_label_entries = labels.counter("entries_scanned")
+        self._m_cache_hits = labels.counter("cache_hits")
+        self._m_cache_misses = labels.counter("cache_misses")
+        self._m_cache_evictions = labels.counter("cache_evictions")
         sched = self.metrics.scope("kernel.sched")
         self._m_steps = sched.counter("steps")
         self._m_queue_depth = sched.histogram("queue_depth")
@@ -240,6 +243,24 @@ class Kernel:
         self._m_spawns = procs.counter("spawned")
         self._m_ep_created = procs.counter("ep_created")
         self._m_ep_switches = procs.counter("ep_switched")
+
+        # -- interned-label fast path (repro.core.interning) -----------------
+        # Labels are hash-consed through the process-wide intern table and
+        # the three Figure 4 hot operations are memoized in a bounded LRU
+        # keyed on interned ids.  Immutability makes the cache invalidation
+        # free; the disabled path is byte-identical to a pre-cache kernel.
+        self.intern_table = None
+        self.labelop_cache = None
+        self._cache_evictions_seen = 0
+        if config.intern_labels:
+            from repro.core.interning import LabelOpCache, global_intern_table
+
+            self.intern_table = global_intern_table()
+            self.labelop_cache = LabelOpCache(
+                size=config.labelop_cache_size, table=self.intern_table
+            )
+            self.intern_table.intern(_BOTTOM)
+            self.intern_table.intern(_TOP)
 
         # Differential label sanitizer (repro.analysis): opt in per kernel
         # via KernelConfig(sanitize=True), or globally via REPRO_SANITIZE=1
@@ -315,6 +336,9 @@ class Kernel:
         if parent is not None and inherit_labels:
             process.send_label = parent.send_label
             process.receive_label = parent.receive_label
+        if self.intern_table is not None:
+            process.send_label = self.intern_table.intern(process.send_label)
+            process.receive_label = self.intern_table.intern(process.receive_label)
         process.notify_exit = notify_exit
         process.ctx = Context(self, process, space, process.env)
         process.gen = body(process.ctx)
@@ -341,7 +365,7 @@ class Kernel:
         return self._enqueue(
             port=port,
             payload=payload,
-            effective_send=ChunkedLabel.from_label(Label.send_default()),
+            effective_send=self._intern(ChunkedLabel.from_label(Label.send_default())),
             ds=_TOP,
             v=_TOP,
             dr=_BOTTOM,
@@ -642,10 +666,26 @@ class Kernel:
         dr = self._user_label(request.dr, _BOTTOM)
 
         # ES = PS ⊔ CS.  Contamination needs no privilege (Section 5.2).
+        # The requirement (2)/(3) scans below always run, so "paper" mode
+        # always models their len(ds)+len(dr) entries; only the ⊔'s own
+        # cost is skipped on a cache hit.
         modeled = 0
-        if self.label_cost_mode == "paper":
-            modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
-        es = labelops.raise_receive(ps, cs, stats)
+        cache = self.labelop_cache
+        if cache is not None:
+            ps = task.send_label = self._intern(ps)
+            es, hit = cache.raise_receive(ps, cs, stats)
+            self._note_cache(hit)
+            if self.label_cost_mode == "paper":
+                modeled = len(ds) + len(dr)
+                if not hit:
+                    # Bill the operation that ran: the ⋆-factored fast
+                    # path computes on the stripped cores, and the model
+                    # charges for those scans, not the full labels.
+                    modeled += labelops.paper_cost_raise_receive(*cache.last_executed)
+        else:
+            if self.label_cost_mode == "paper":
+                modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
+            es = labelops.raise_receive(ps, cs, stats)
         if self.sanitizer is not None:
             self.sanitizer.check_effective_send(task.name, request.port, ps, cs, es)
 
@@ -827,50 +867,99 @@ class Kernel:
     def _deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
         stats = OpStats()
         self.clock.charge(KERNEL_IPC, self.clock.cost.recv_base)
-        # Bill the delivery's label work as the modelled 2005 implementation
-        # would pay it, using the labels as they stand before the effects.
+        paper = self.label_cost_mode == "paper"
+        cache = self.labelop_cache
         modeled = 0
-        if self.label_cost_mode == "paper":
-            modeled = labelops.paper_cost_check_send(
+        if cache is not None:
+            # Interned fast path: the message's labels were interned at
+            # send/inject time, so these are O(1) attribute tests except
+            # for the occasional not-yet-canonical task/port label, which
+            # is stored back so it interns once per distinct value.
+            intern = self.intern_table.intern  # type: ignore[union-attr]
+            es = intern(qmsg.effective_send)
+            ds = intern(qmsg.decontaminate_send)
+            v = intern(qmsg.verify)
+            dr = intern(qmsg.decontaminate_receive)
+            pl = entry.label = intern(entry.label)
+            qr = task.receive_label = intern(task.receive_label)
+            # Requirement (4): DR ⊑ pR (uncached: not a Figure 4 hot op,
+            # and almost always the trivial ⊥ ⊑ pR fast path).
+            if not dr.leq(pl, stats):
+                if paper:
+                    modeled = labelops.paper_cost_check_send(es, qr, dr, v, pl)
+                self._charge_label_work(stats, modeled)
+                self._drop(DROP_PORT_LABEL, qmsg.sender_name, task.name, seq=qmsg.seq)
+                self._kill_transferred(qmsg.transfer)
+                return False
+            # Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
+            ok, hit = cache.check_send(es, qr, dr, v, pl, stats)
+            self._note_cache(hit)
+            if paper and not hit:
+                # Billed at the operands the check actually ran on (the
+                # ⋆-stripped cores wherever a factoring applied).
+                modeled = labelops.paper_cost_check_send(*cache.last_executed)
+            if not ok:
+                self._charge_label_work(stats, modeled)
+                self._drop(DROP_LABEL_CHECK, qmsg.sender_name, task.name, seq=qmsg.seq)
+                self._kill_transferred(qmsg.transfer)
+                return False
+            # Effects (computed from the pre-effect labels, as below).
+            qs = task.send_label = intern(task.send_label)
+            new_qs, hit = cache.apply_send_effects(qs, es, ds, stats)
+            self._note_cache(hit)
+            if paper and not hit:
+                modeled += labelops.paper_cost_apply_effects(*cache.last_executed)
+            new_qr, hit = cache.raise_receive(qr, dr, stats)
+            self._note_cache(hit)
+            if paper and not hit:
+                modeled += labelops.paper_cost_raise_receive(*cache.last_executed)
+            task.send_label = new_qs
+            task.receive_label = new_qr
+        else:
+            # Bill the delivery's label work as the modelled 2005
+            # implementation would pay it, using the labels as they stand
+            # before the effects.
+            if paper:
+                modeled = labelops.paper_cost_check_send(
+                    qmsg.effective_send,
+                    task.receive_label,
+                    qmsg.decontaminate_receive,
+                    qmsg.verify,
+                    entry.label,
+                )
+            # Requirement (4): DR ⊑ pR.
+            if not qmsg.decontaminate_receive.leq(entry.label, stats):
+                self._charge_label_work(stats, modeled)
+                self._drop(DROP_PORT_LABEL, qmsg.sender_name, task.name, seq=qmsg.seq)
+                self._kill_transferred(qmsg.transfer)
+                return False
+            # Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
+            if not labelops.check_send(
                 qmsg.effective_send,
                 task.receive_label,
                 qmsg.decontaminate_receive,
                 qmsg.verify,
                 entry.label,
+                stats,
+            ):
+                self._charge_label_work(stats, modeled)
+                self._drop(DROP_LABEL_CHECK, qmsg.sender_name, task.name, seq=qmsg.seq)
+                self._kill_transferred(qmsg.transfer)
+                return False
+            if paper:
+                modeled += labelops.paper_cost_apply_effects(
+                    task.send_label, qmsg.effective_send, qmsg.decontaminate_send
+                )
+                modeled += labelops.paper_cost_raise_receive(
+                    task.receive_label, qmsg.decontaminate_receive
+                )
+            # Effects.
+            task.send_label = labelops.apply_send_effects(
+                task.send_label, qmsg.effective_send, qmsg.decontaminate_send, stats
             )
-        # Requirement (4): DR ⊑ pR.
-        if not qmsg.decontaminate_receive.leq(entry.label, stats):
-            self._charge_label_work(stats, modeled)
-            self._drop(DROP_PORT_LABEL, qmsg.sender_name, task.name, seq=qmsg.seq)
-            self._kill_transferred(qmsg.transfer)
-            return False
-        # Requirement (1): ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR.
-        if not labelops.check_send(
-            qmsg.effective_send,
-            task.receive_label,
-            qmsg.decontaminate_receive,
-            qmsg.verify,
-            entry.label,
-            stats,
-        ):
-            self._charge_label_work(stats, modeled)
-            self._drop(DROP_LABEL_CHECK, qmsg.sender_name, task.name, seq=qmsg.seq)
-            self._kill_transferred(qmsg.transfer)
-            return False
-        if self.label_cost_mode == "paper":
-            modeled += labelops.paper_cost_apply_effects(
-                task.send_label, qmsg.effective_send, qmsg.decontaminate_send
+            task.receive_label = labelops.raise_receive(
+                task.receive_label, qmsg.decontaminate_receive, stats
             )
-            modeled += labelops.paper_cost_raise_receive(
-                task.receive_label, qmsg.decontaminate_receive
-            )
-        # Effects.
-        task.send_label = labelops.apply_send_effects(
-            task.send_label, qmsg.effective_send, qmsg.decontaminate_send, stats
-        )
-        task.receive_label = labelops.raise_receive(
-            task.receive_label, qmsg.decontaminate_receive, stats
-        )
         # Receive rights travelling with the message land here.
         for handle in qmsg.transfer:
             port_entry = self.ports.get(handle)
@@ -920,6 +1009,32 @@ class Kernel:
             self._m_label_fast.inc(stats.fast_path)
             self._m_label_full.inc(stats.full_merges)
             self._m_label_entries.inc(stats.entries_scanned)
+
+    def _intern(self, label: ChunkedLabel) -> ChunkedLabel:
+        """Canonicalise *label* when the fast path is on (else identity)."""
+        if self.intern_table is None:
+            return label
+        return self.intern_table.intern(label)
+
+    def _note_cache(self, hit: bool) -> None:
+        """Bill and count one LabelOpCache probe.
+
+        A hit replaces a full Figure 4 operation with a flat LRU probe
+        cost; a miss ran the real operation, whose work was already
+        recorded in the caller's OpStats and is billed by
+        ``_charge_label_work`` exactly as on the uncached path.
+        """
+        if hit:
+            self.clock.charge(KERNEL_IPC, self.clock.cost.labelop_cache_hit)
+        if self._obs:
+            if hit:
+                self._m_cache_hits.inc()
+            else:
+                self._m_cache_misses.inc()
+            evictions = self.labelop_cache.evictions  # type: ignore[union-attr]
+            if evictions != self._cache_evictions_seen:
+                self._m_cache_evictions.inc(evictions - self._cache_evictions_seen)
+                self._cache_evictions_seen = evictions
 
     # -- recv --------------------------------------------------------------------------------
 
@@ -994,7 +1109,9 @@ class Kernel:
         handle = self.allocator.fresh()
         self.vnodes.create(handle)
         stats = OpStats()
-        task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        task.send_label = self._intern(
+            labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        )
         self._charge_label_work(stats)
         if self.hooks:
             self._hook("on_new_handle", task, handle)
@@ -1007,11 +1124,13 @@ class Kernel:
         base = ChunkedLabel.from_label(label if label is not None else DEFAULT_PORT_LABEL)
         stats = OpStats()
         # Figure 4: pR ← L, then pR(p) ← 0.
-        port_label = labelops.sparse_update(base, {handle: L0}, stats)
+        port_label = self._intern(labelops.sparse_update(base, {handle: L0}, stats))
         self.ports[handle] = Port(handle=handle, label=port_label, owner=task.key)
         task.owned_ports.add(handle)
         # PS(p) ← ⋆.
-        task.send_label = labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        task.send_label = self._intern(
+            labelops.sparse_update(task.send_label, {handle: STAR}, stats)
+        )
         self._charge_label_work(stats)
         if self.hooks:
             self._hook("on_new_port", task, handle)
@@ -1022,7 +1141,7 @@ class Kernel:
         if entry is None or request.port not in task.owned_ports:
             raise NotOwner(f"set_port_label: port {request.port:#x} not owned")
         # Unlike new_port, the input is used verbatim (Section 5.5).
-        entry.label = ChunkedLabel.from_label(request.label)
+        entry.label = self._intern(ChunkedLabel.from_label(request.label))
         return True
 
     def _sys_change_label(self, task: Task, request: sc.ChangeLabel) -> bool:
@@ -1089,6 +1208,9 @@ class Kernel:
                 )
             task.receive_label = new
         self._charge_label_work(stats)
+        if self.intern_table is not None:
+            task.send_label = self.intern_table.intern(task.send_label)
+            task.receive_label = self.intern_table.intern(task.receive_label)
         if self.hooks:
             self._hook("on_change_label", task, request)
         return True
@@ -1098,7 +1220,7 @@ class Kernel:
             return default
         if not isinstance(label, Label):
             raise InvalidArgument(f"not a label: {label!r}")
-        return ChunkedLabel.from_label(label)
+        return self._intern(ChunkedLabel.from_label(label))
 
     # -- event processes -----------------------------------------------------------------------
 
@@ -1323,7 +1445,7 @@ class Kernel:
                     "name": process.name,
                     "crashed": crashed,
                 },
-                effective_send=ChunkedLabel.from_label(Label.send_default()),
+                effective_send=self._intern(ChunkedLabel.from_label(Label.send_default())),
                 ds=_TOP,
                 v=_TOP,
                 dr=_BOTTOM,

@@ -11,6 +11,12 @@ one base process with a thousand dormant EPs costs the scheduler exactly
 one queue entry when a message arrives, which is the "kernel scheduling
 cost is little higher than that of a single process" property of
 Section 6.2.
+
+The run queue uses lazy deletion: ``remove`` only clears the membership
+set (O(1)), leaving a stale key in the deque that ``dequeue`` skips when
+it surfaces.  Every scheduler operation is therefore O(runnable) — a base
+process cycling between blocked and runnable never pays an O(queue
+length) ``deque.remove`` scan, no matter how many other tasks exist.
 """
 
 from __future__ import annotations
@@ -20,7 +26,15 @@ from typing import Deque, Set
 
 
 class Scheduler:
-    """FIFO run queue with membership tracking."""
+    """FIFO run queue with membership tracking and lazy deletion.
+
+    Invariant: ``_queued`` ⊆ keys present in ``_queue``; deque entries
+    not in ``_queued`` are stale and skipped at ``dequeue``.  Because
+    ``enqueue`` is idempotent while a key is queued, a key occurs at most
+    once *live* in the deque, so FIFO order of live keys is exactly the
+    order of their most recent enqueue — identical semantics to eager
+    removal, observable length included.
+    """
 
     def __init__(self) -> None:
         self._queue: Deque[str] = deque()
@@ -33,21 +47,21 @@ class Scheduler:
             self._queued.add(key)
 
     def dequeue(self) -> str:
-        key = self._queue.popleft()
-        self._queued.discard(key)
-        return key
+        while True:
+            key = self._queue.popleft()
+            if key in self._queued:
+                self._queued.discard(key)
+                return key
 
     def remove(self, key: str) -> None:
         """Drop *key* from the queue if present (task exited/blocked)."""
-        if key in self._queued:
-            self._queued.discard(key)
-            self._queue.remove(key)
+        self._queued.discard(key)
 
     def __contains__(self, key: str) -> bool:
         return key in self._queued
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return len(self._queued)
 
     def __bool__(self) -> bool:
-        return bool(self._queue)
+        return bool(self._queued)

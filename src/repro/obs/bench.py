@@ -222,9 +222,46 @@ def _sweep(quick: bool, label_cost_mode: str = "paper", config=None):
     return grid, run_session_sweep(grid, label_cost_mode=label_cost_mode, config=config)
 
 
+def _interning_speedup(sessions: int) -> Dict[str, Any]:
+    """Warm-window per-connection cost at *sessions* cached sessions,
+    interned-label fast path off vs on.
+
+    Three identical rounds per kernel: two to let every label reach its
+    per-user fixed point (the regime a long-running server lives in),
+    one measured through a clock snapshot/delta window.  The cache is
+    sized to hold the warm working set (a few keys per user) so the
+    measurement reflects the fast path, not LRU thrash.
+    """
+    from repro.sim.runner import build_echo_site
+    from repro.sim.workload import HttpClient
+
+    out: Dict[str, Any] = {"sessions": sessions, "cache_size": 1 << 16}
+    for key, intern in (("plain_kcycles_conn", False), ("interned_kcycles_conn", True)):
+        site = build_echo_site(
+            sessions,
+            config=KernelConfig(intern_labels=intern, labelop_cache_size=1 << 16),
+        )
+        client = HttpClient(site)
+        requests = [
+            (f"u{i}", f"pw{i}", "echo", None, {"length": 11}) for i in range(sessions)
+        ]
+        for _ in range(2):
+            client.run_batch(requests, concurrency=16)
+        snap = site.kernel.clock.snapshot()
+        client.run_batch(requests, concurrency=16)
+        delta = site.kernel.clock.delta(snap)
+        out[key] = round(sum(delta.values()) / sessions / 1000, 1)
+        if intern:
+            cache = site.kernel.labelop_cache
+            out["hit_rate"] = round(cache.hits / max(1, cache.lookups), 4)
+    out["speedup"] = round(out["plain_kcycles_conn"] / out["interned_kcycles_conn"], 4)
+    return out
+
+
 def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
     """Figure 7: throughput vs cached sessions, plus the observability
-    overhead measurement (disabled vs enabled wall time on point one)."""
+    overhead measurement (disabled vs enabled wall time on point one)
+    and the interned-label fast-path speedup at the top grid point."""
     from repro.baselines import ApacheCgiModel, ModApacheModel
 
     if sweep is None:
@@ -253,6 +290,13 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
     snapshot["obs_overhead_ratio"] = round(enabled_s / disabled_s, 4)
     snapshot["obs_disabled_seconds"] = round(disabled_s, 4)
     snapshot["obs_enabled_seconds"] = round(enabled_s, 4)
+
+    # Interned-label fast path (DESIGN.md §11): warm-window speedup at
+    # the top grid point.  The guard pins this series like any other, so
+    # a change that erodes the cache's hit rate or fast-path billing
+    # fails CI; the full grid demonstrates the paper-scale win (≥ 1.15x
+    # at 3000 cached sessions).
+    speed = _interning_speedup(grid[-1])
     return _document(
         "fig7",
         "Throughput for various numbers of cached sessions",
@@ -260,6 +304,9 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
         {
             "okws_throughput": _series(
                 [p.sessions for p in points], [p.throughput for p in points], "conn/s"
+            ),
+            "interning_speedup": _series(
+                [speed["sessions"]], [speed["speedup"]], "x"
             ),
         },
         [
@@ -281,12 +328,19 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
                 ),
                 "",
             ),
+            comparison(
+                f"interned fast path speedup at {speed['sessions']} sessions",
+                1.15 if not quick else "n/a (reduced grid)",
+                speed["speedup"],
+                "x",
+            ),
         ],
         snapshot,
         {
             "grid": grid,
             "apache_conn_s": round(apache.throughput, 1),
             "mod_apache_conn_s": round(mod_apache.throughput, 1),
+            "interning": speed,
         },
     )
 
@@ -319,6 +373,23 @@ def run_fig8(quick: bool) -> Dict[str, Any]:
         )
         for label, lats in rows.items()
     ]
+    # Interned fast path at the big operating point: comparison row only, not a
+    # guarded series — latency improvements would trip a one-sided guard.
+    from repro.kernel.config import KernelConfig
+
+    interned_lats = run_latency_experiment(
+        big,
+        n_requests=min(n, 200),
+        config=KernelConfig(intern_labels=True, labelop_cache_size=1 << 16),
+    )
+    comparisons.append(
+        comparison(
+            f"median latency: OKWS, {big} sessions (interned)",
+            "n/a (fast path)",
+            percentile(interned_lats, 50),
+            "us",
+        )
+    )
     return _document(
         "fig8",
         "Request latency at a concurrency of four",

@@ -220,7 +220,14 @@ def kernel_snapshot(kernel) -> Dict[str, Any]:
     run with metrics disabled.
     """
     stats = kernel.label_stats
+    cache = kernel.labelop_cache
     return {
+        "config": {
+            "intern_labels": kernel.config.intern_labels,
+            "labelop_cache_size": kernel.config.labelop_cache_size,
+            "label_cost_mode": kernel.config.label_cost_mode,
+        },
+        "labelop_cache": cache.counters() if cache is not None else None,
         "metrics": kernel.metrics.snapshot(),
         "clock": {
             "now_cycles": kernel.clock.now,

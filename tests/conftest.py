@@ -5,12 +5,25 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.core.handles import HandleAllocator
 from repro.core.labels import Label
 from repro.core.levels import ALL_LEVELS
 from repro.kernel.config import KernelConfig
 from repro.kernel.kernel import Kernel
+
+# Hypothesis profiles (select with ``pytest --hypothesis-profile=ci``):
+#
+# - ``dev`` (default): stock Hypothesis behaviour — fresh random examples
+#   every run, shrinking failures to minimal counterexamples locally.
+# - ``ci``: derandomized (the seed is derived from each test, so a green
+#   CI run is reproducible and flakes can't hide behind reseeding) and
+#   with the per-example deadline off — shared runners have noisy clocks
+#   and the conformance suite's OKWS replays are legitimately slow.
+hypothesis_settings.register_profile("ci", deadline=None, derandomize=True, print_blob=True)
+hypothesis_settings.register_profile("dev")
+hypothesis_settings.load_profile("dev")
 
 
 @pytest.fixture

@@ -99,3 +99,57 @@ def test_config_drives_kernel():
     plain = Kernel(config=KernelConfig())
     assert not plain.metrics.enabled
     assert plain.spans is None
+
+
+# -- the interned-label fast path knobs (DESIGN.md §11) -----------------------------
+
+
+def test_interning_defaults_off():
+    config = KernelConfig()
+    assert config.intern_labels is False
+    assert config.labelop_cache_size == 4096
+
+
+def test_interning_validation():
+    with pytest.raises(ValueError):
+        KernelConfig(labelop_cache_size=0)
+    with pytest.raises(ValueError):
+        KernelConfig(labelop_cache_size=-8)
+
+
+def test_interning_from_env_round_trip():
+    env = {"REPRO_INTERN_LABELS": "1", "REPRO_LABELOP_CACHE": "512"}
+    config = KernelConfig.from_env(env=env)
+    assert config.intern_labels is True
+    assert config.labelop_cache_size == 512
+
+
+def test_interning_env_falsy_and_unset():
+    assert KernelConfig.from_env(env={"REPRO_INTERN_LABELS": "off"}).intern_labels is False
+    config = KernelConfig.from_env(env={})
+    assert config.intern_labels is False
+    assert config.labelop_cache_size == 4096
+
+
+def test_interning_explicit_overrides_beat_environment():
+    env = {"REPRO_INTERN_LABELS": "1", "REPRO_LABELOP_CACHE": "512"}
+    config = KernelConfig.from_env(env=env, intern_labels=False, labelop_cache_size=64)
+    assert config.intern_labels is False
+    assert config.labelop_cache_size == 64
+
+
+def test_interning_replace_round_trip():
+    config = KernelConfig().replace(intern_labels=True, labelop_cache_size=128)
+    assert config.intern_labels is True
+    assert config.labelop_cache_size == 128
+    assert config.replace(intern_labels=False).labelop_cache_size == 128
+
+
+def test_interning_config_drives_kernel():
+    kernel = Kernel(config=KernelConfig(intern_labels=True, labelop_cache_size=128))
+    assert kernel.labelop_cache is not None
+    assert kernel.labelop_cache.size == 128
+    assert kernel.intern_table is not None
+    plain = Kernel(config=KernelConfig())
+    assert plain.labelop_cache is None
+    assert plain.intern_table is None

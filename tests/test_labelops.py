@@ -118,3 +118,88 @@ def test_paper_cost_check_scans_when_port_label_restricts():
     # dominates): the modelled implementation must do the full merge.
     pr = _c(Label({77: 0}, L3))
     assert lo.paper_cost_check_send(es, qr, dr, v, pr) >= 1000
+
+
+# -- sparse_update boundary structure: normalisation, routing, chunk sharing ------------
+
+from repro.core.chunks import CHUNK_CAPACITY  # noqa: E402
+
+handles = st.integers(min_value=0, max_value=80)
+
+
+@given(labels, st.sets(handles, max_size=8))
+@settings(max_examples=300)
+def test_sparse_update_normalises_default_updates_away(label, touched):
+    # Writing the default level at a handle must *remove* its explicit
+    # entry, not store a redundant one — canonical form is what makes
+    # structurally equal labels intern to one id.
+    got = lo.sparse_update(_c(label), {h: label.default for h in touched}, OpStats())
+    assert all(lvl != got.default for _, lvl in got.iter_entries())
+    want = label
+    for h in touched:
+        want = want.with_entry(h, label.default)
+    assert got.to_label() == want
+
+
+def test_sparse_update_empty_updates_is_identity():
+    chunked = _c(Label({1: L3}, L1))
+    assert lo.sparse_update(chunked, {}, OpStats()) is chunked
+
+
+@given(st.dictionaries(handles, levels, max_size=8), levels)
+@settings(max_examples=300)
+def test_sparse_update_on_the_empty_label(updates, default):
+    got = lo.sparse_update(_c(Label({}, default)), updates, OpStats())
+    assert got.to_label() == Label(updates, default)
+
+
+def test_sparse_update_shares_untouched_chunks():
+    label = _c(Label({i * 3: L3 for i in range(200)}, L1))
+    assert len(label.chunks) == 4
+    target = label.chunks[2].entries[0][0]
+    stats = OpStats()
+    got = lo.sparse_update(label, {target: L2}, stats)
+    assert got.to_label() == Label({i * 3: L3 for i in range(200)}, L1).with_entry(
+        target, L2
+    )
+    # Only the routed chunk is rewritten; the other three are shared by
+    # object identity.
+    assert stats.chunks_shared == 3
+    assert stats.chunks_allocated == 1
+    for i in (0, 1, 3):
+        assert got.chunks[i] is label.chunks[i]
+    assert got.chunks[2] is not label.chunks[2]
+
+
+# -- _balanced_runs: minimum chunk count, even sizes --------------------------------
+
+
+@given(st.lists(st.tuples(st.integers(0, 10_000), levels), max_size=300))
+@settings(max_examples=300)
+def test_balanced_runs_partition_evenly(entries):
+    runs = lo._balanced_runs(entries)
+    assert [e for run in runs for e in run] == list(entries)
+    if not entries:
+        assert runs == []
+        return
+    sizes = [len(run) for run in runs]
+    assert len(runs) == -(-len(entries) // CHUNK_CAPACITY)  # ceil division
+    assert max(sizes) <= CHUNK_CAPACITY
+    assert min(sizes) >= 1
+    assert max(sizes) - min(sizes) <= 1  # evenly sized, no [64, 1] splits
+
+
+def test_balanced_runs_ceil_boundaries():
+    for n in (
+        1,
+        CHUNK_CAPACITY - 1,
+        CHUNK_CAPACITY,
+        CHUNK_CAPACITY + 1,
+        2 * CHUNK_CAPACITY,
+        2 * CHUNK_CAPACITY + 1,
+    ):
+        runs = lo._balanced_runs([(i, L2) for i in range(n)])
+        sizes = [len(run) for run in runs]
+        assert len(runs) == -(-n // CHUNK_CAPACITY)
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
