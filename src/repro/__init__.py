@@ -59,6 +59,8 @@ __all__ = [
     "run_bench",
     "analyze_paths",
     "run_check",
+    "explore",
+    "scenario_from_topology",
     "record_okws_topology",
     "FaultPlan",
     "load_plan",
@@ -81,6 +83,8 @@ _LAZY = {
     "run_bench": ("repro.obs.bench", "run_bench"),
     "analyze_paths": ("repro.analysis.asblint", "analyze_paths"),
     "run_check": ("repro.analysis.check", "run_check"),
+    "explore": ("repro.analysis.sched", "explore"),
+    "scenario_from_topology": ("repro.analysis.sched", "scenario_from_topology"),
     "record_okws_topology": ("repro.okws.topology", "record_okws_topology"),
     "InternTable": ("repro.core.interning", "InternTable"),
     "LabelOpCache": ("repro.core.interning", "LabelOpCache"),

@@ -1,8 +1,13 @@
 """``python -m repro`` — the command line.
 
 Bare invocation runs the two-minute guided tour; ``analyze`` runs the
-asblint static label-flow checker; ``run`` drives the OKWS demo workload
-(optionally under the runtime sanitizer).  See :mod:`repro.analysis.cli`.
+asblint static label-flow checker; ``check`` the asbcheck whole-system
+model checker; ``explore`` the asbsched schedule-space explorer (DPOR
+over scheduler, timer and fault nondeterminism with counterexample
+shrinking); ``run`` drives the OKWS demo workload (optionally under the
+runtime sanitizer); ``chaos`` runs seeded fault-injection campaigns;
+``bench`` regenerates the paper's figures.  See
+:mod:`repro.analysis.cli`.
 """
 
 from __future__ import annotations

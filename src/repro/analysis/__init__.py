@@ -15,7 +15,15 @@ Three cooperating layers:
   kernel via :mod:`repro.analysis.replay`;
 - :mod:`repro.analysis.sanitizer`: the **runtime sanitizer** — an opt-in
   kernel mode differentially checking the fused label fast paths against
-  the naive operators on every IPC.
+  the naive operators on every IPC;
+- :mod:`repro.analysis.sched`: the **asbsched** schedule-space explorer —
+  it animates a topology on the real kernel and systematically drives it
+  through alternative interleavings (scheduler picks, timer-vs-task wake
+  order, fault branches) via one pluggable
+  :class:`~repro.kernel.nondet.NondetSource`, checking the policy battery
+  and the sanitizer on every schedule, with dynamic partial-order
+  reduction and counterexample shrinking to a byte-identically
+  replayable ``schedule/v1`` file.
 
 All are exposed through ``python -m repro`` (see
 :mod:`repro.analysis.cli`); ``--format sarif`` on the static commands
@@ -47,12 +55,42 @@ from repro.analysis.rules import (
 )
 from repro.analysis.sanitizer import LabelSanitizer, SanitizerViolation, Violation
 
+#: asbsched re-exports resolve lazily: sched.py consumes
+#: repro.policies.assertions, which itself imports repro.analysis.model —
+#: an eager import here would close that cycle whenever repro.policies
+#: loads first (e.g. ``from repro.policies.mls import MlsPolicy``).
+_SCHED_EXPORTS = (
+    "ExploreReport",
+    "RunResult",
+    "Scenario",
+    "explore",
+    "okws_scenario",
+    "replay_schedule",
+    "scenario_from_topology",
+    "shrink_schedule",
+)
+
+
+def __getattr__(name):
+    if name in _SCHED_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module("repro.analysis.sched"), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_SCHED_EXPORTS))
+
 __all__ = [
     "AbstractLabel",
     "AbstractState",
     "CheckReport",
     "DECLASSIFY_NO_STAR",
     "Diagnostic",
+    "ExploreReport",
     "FileReport",
     "HANDLE_LEAK",
     "Interval",
@@ -60,7 +98,9 @@ __all__ = [
     "NEVER_PASS",
     "RULES",
     "Rule",
+    "RunResult",
     "SanitizerViolation",
+    "Scenario",
     "TAINT_CREEP",
     "Topology",
     "TopologyRecorder",
@@ -68,10 +108,15 @@ __all__ = [
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "explore",
     "findings",
     "format_reports",
     "link_lint_findings",
+    "okws_scenario",
     "render_json",
+    "replay_schedule",
     "resolve_rule",
     "run_check",
+    "scenario_from_topology",
+    "shrink_schedule",
 ]

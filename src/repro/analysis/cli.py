@@ -6,6 +6,8 @@ Subcommands::
     python -m repro tour
     python -m repro analyze <paths...> [--format text|json|sarif] [--select RULES]
     python -m repro check [--topology FILE | --okws] [--policy FILE] [--format ...]
+    python -m repro explore [--topology FILE | --okws] [--dpor|--exhaustive]
+                            [--depth N] [--shrink/--no-shrink] [--plan FILE]
     python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
     python -m repro bench [--quick] [--out DIR] [--only FIGS]
     python -m repro bench --validate <BENCH_*.json...>
@@ -15,7 +17,14 @@ survives the pragma filter; ``--topology`` links each finding to the
 asbcheck edges the flagged program feeds.  ``check`` runs the asbcheck
 whole-system model checker over a topology document (or the shipped
 OKWS topology extracted from a live run) and exits 1 on any policy
-violation, printing shortest counterexample traces.  ``run`` drives the
+violation, printing shortest counterexample traces.  ``explore`` runs
+the asbsched schedule-space explorer: it animates the topology on the
+real kernel and drives it through alternative interleavings (DPOR by
+default), exits 1 on any schedule that breaks the policy battery or the
+differential sanitizer, and shrinks that schedule to a minimal
+byte-identically replayable counterexample (``--out`` writes the
+schedule/v1 + faultplan/v1 pair; ``--replay`` re-executes one).
+``run`` drives the
 OKWS demo workload on a live kernel; with ``--sanitize`` every IPC is
 differentially checked against the naive label operators.  ``bench``
 regenerates the paper's figures headlessly as ``BENCH_<figure>.json``
@@ -194,6 +203,104 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(sarif.render(sarif.check_sarif(report)))
     else:
         print(report.format())
+    return 0 if report.ok else 1
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import model as M
+    from repro.analysis import sched as S
+    from repro.faults.plan import PlanError, load_plan
+    from repro.policies.assertions import policies_from_json
+
+    if bool(args.topology) == bool(args.okws):
+        print(
+            "repro explore: give exactly one of --topology FILE or --okws",
+            file=sys.stderr,
+        )
+        return 2
+
+    plan = None
+    if args.plan:
+        try:
+            plan = load_plan(args.plan)
+        except (OSError, PlanError, ValueError) as err:
+            print(f"repro explore: --plan: {err}", file=sys.stderr)
+            return 2
+    policies = None
+    if args.policy:
+        try:
+            doc = json.loads(Path(args.policy).read_text(encoding="utf-8"))
+            items = doc.get("policies", []) if isinstance(doc, dict) else doc
+            policies = policies_from_json(items)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"repro explore: --policy: {err}", file=sys.stderr)
+            return 2
+
+    try:
+        if args.okws:
+            scenario = S.okws_scenario(
+                plan=plan,
+                fault_seed=args.seed,
+                max_steps=args.max_steps,
+                policies=policies,
+            )
+        else:
+            scenario = S.scenario_from_topology(
+                M.load(args.topology),
+                plan=plan,
+                fault_seed=args.seed,
+                max_steps=args.max_steps,
+                policies=policies,
+            )
+    except (OSError, ValueError, KeyError, S.SchedError) as err:
+        print(f"repro explore: {err}", file=sys.stderr)
+        return 2
+
+    if args.replay:
+        try:
+            decisions = S.load_schedule(args.replay)
+        except (OSError, ValueError, S.SchedError) as err:
+            print(f"repro explore: --replay: {err}", file=sys.stderr)
+            return 2
+        run = S.replay_schedule(scenario, decisions)
+        print(
+            f"repro explore: replayed {len(decisions)} decision(s): "
+            f"{len(run.steps)} step(s), "
+            f"{'VIOLATING' if run.violating else 'clean'}"
+        )
+        for breach in run.breaches:
+            print(f"  BREACH [{breach.kind}] {breach.message}")
+        for violation in run.sanitizer_violations:
+            print(f"  SANITIZER {violation}")
+        return 1 if run.violating else 0
+
+    report = S.explore(
+        scenario,
+        mode="exhaustive" if args.exhaustive else "dpor",
+        depth=args.depth,
+        max_schedules=args.max_schedules,
+        time_budget=args.time_budget,
+        shrink=args.shrink,
+    )
+
+    out_paths = []
+    if args.out and not report.ok:
+        out_paths = S.write_counterexample(report, scenario, args.out)
+
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
+        print(json.dumps(report.to_json(), indent=2))
+    elif fmt == "sarif":
+        from repro.analysis import sarif
+
+        print(sarif.render(sarif.sched_sarif(report)))
+    else:
+        print(report.format())
+        for path in out_paths:
+            print(f"repro explore: wrote {path}")
     return 0 if report.ok else 1
 
 
@@ -439,6 +546,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the checked topology document to FILE",
     )
 
+    explore = sub.add_parser(
+        "explore",
+        help="run the asbsched schedule-space explorer over a topology",
+    )
+    explore.add_argument(
+        "--topology", metavar="FILE", help="topology document (topology/v1 JSON)"
+    )
+    explore.add_argument(
+        "--okws",
+        action="store_true",
+        help="animate and explore the shipped OKWS topology",
+    )
+    explore.add_argument(
+        "--plan",
+        metavar="FILE",
+        help="faultplan/v1 JSON; fractional rules become explored branches",
+    )
+    explore.add_argument(
+        "--policy",
+        metavar="FILE",
+        help="policy JSON (list or {\"policies\": [...]}); default: the "
+        "topology's embedded battery",
+    )
+    explore.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fault seed for unbranched fractional draws (default: 0)",
+    )
+    explore.add_argument(
+        "--max-steps",
+        type=int,
+        default=4000,
+        metavar="N",
+        help="per-schedule kernel step budget (default: 4000)",
+    )
+    explore.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="only the first N choice points branch (default: unbounded)",
+    )
+    explore.add_argument(
+        "--exhaustive",
+        action="store_true",
+        help="branch every option at every choice point instead of DPOR",
+    )
+    explore.add_argument(
+        "--dpor",
+        dest="exhaustive",
+        action="store_false",
+        help="dynamic partial-order reduction (the default)",
+    )
+    explore.add_argument(
+        "--no-shrink",
+        dest="shrink",
+        action="store_false",
+        help="report the first violating schedule without minimizing it",
+    )
+    explore.add_argument(
+        "--max-schedules",
+        type=int,
+        default=20_000,
+        metavar="N",
+        help="schedule budget before truncating (default: 20000)",
+    )
+    explore.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget before truncating (default: none)",
+    )
+    explore.add_argument(
+        "--out",
+        metavar="DIR",
+        help="on violation, write the minimized schedule/v1 + faultplan/v1",
+    )
+    explore.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-execute one schedule/v1 file instead of exploring",
+    )
+    explore.add_argument(
+        "--json", action="store_true", help="shorthand for --format json"
+    )
+    explore.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (sarif: GitHub code-scanning schema)",
+    )
+    explore.set_defaults(exhaustive=False, shrink=True)
+
     run = sub.add_parser("run", help="run the OKWS demo workload")
     run.add_argument(
         "--sanitize",
@@ -562,6 +765,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_analyze(namespace)
     if namespace.command == "check":
         return _cmd_check(namespace)
+    if namespace.command == "explore":
+        return _cmd_explore(namespace)
     if namespace.command == "run":
         return _cmd_run(namespace)
     if namespace.command == "chaos":

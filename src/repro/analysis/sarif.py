@@ -1,16 +1,17 @@
-"""SARIF 2.1.0 emission, shared by ``repro analyze`` and ``repro check``.
+"""SARIF 2.1.0 emission, shared by ``repro analyze``/``check``/``explore``.
 
-One emitter, two producers: asblint findings carry *physical* locations
-(file/line/col), asbcheck violations carry *logical* locations (the
-process or edge of the topology, which has no source file).  GitHub code
-scanning ingests either via ``upload-sarif``; the CI workflow wires the
-analyze job's output through it.
+One emitter, three producers: asblint findings carry *physical*
+locations (file/line/col); asbcheck violations and asbsched breaches
+carry *logical* locations (the process or edge of the topology, which
+has no source file).  GitHub code scanning ingests any of them via
+``upload-sarif``; the CI workflow wires the analyze and explore jobs'
+output through it.
 
-Only the slice of the schema the two tools need is produced — a single
+Only the slice of the schema the tools need is produced — a single
 run per document, ``tool.driver`` rule metadata, results with either a
 ``physicalLocation`` or ``logicalLocations``, and a ``properties`` bag
-for payloads that have no SARIF shape (counterexample traces, related
-topology edges).
+for payloads that have no SARIF shape (counterexample traces, minimized
+schedules, related topology edges).
 """
 
 from __future__ import annotations
@@ -182,6 +183,94 @@ _POLICY_RULES: Tuple[RuleInfo, ...] = (
         "the listed edges must deliver in some reachable state",
     ),
 )
+
+
+# -- asbsched -----------------------------------------------------------------------
+
+
+def sched_sarif(report: Any) -> Dict[str, Any]:
+    """SARIF for a :class:`repro.analysis.sched.ExploreReport`.
+
+    The schedule-space explorer reuses asbcheck's policy rule catalogue
+    (it checks the same battery, live) plus rules for sanitizer
+    divergence and scenario invariants.  The minimized decision vector
+    and the violating run's annotated choice points ride in the
+    properties bag, so a code-scanning alert carries everything needed
+    to replay the counterexample."""
+    rules: List[RuleInfo] = list(_POLICY_RULES)
+    rules.append(
+        (
+            "sanitizer",
+            "sanitizer",
+            "the differential label sanitizer found a divergence between "
+            "the kernel and the naive operators on this schedule",
+        )
+    )
+    rules.append(
+        (
+            "invariant",
+            "invariant",
+            "a scenario-specific terminal-state invariant failed on this "
+            "schedule",
+        )
+    )
+    results: List[Dict[str, Any]] = []
+    run = report.counterexample_run()
+    base_properties: Dict[str, Any] = {
+        "scenario": report.scenario,
+        "mode": report.mode,
+        "schedules": report.schedules,
+    }
+    if run is not None:
+        schedule = (
+            report.minimized
+            if report.minimized is not None
+            else run.decision_vector()
+        )
+        trace = {
+            **base_properties,
+            "schedule": schedule,
+            "decisions": [point.to_json() for point in run.decisions],
+            "steps": [step.key for step in run.steps],
+        }
+        for breach in run.breaches:
+            logical: List[Tuple[str, str]] = []
+            if breach.process:
+                logical.append(
+                    (f"{report.scenario}/{breach.process}", "module")
+                )
+            if breach.edge:
+                logical.append((f"{report.scenario}/{breach.edge}", "function"))
+            results.append(
+                make_result(
+                    breach.kind,
+                    f"{breach.policy}: {breach.message}",
+                    level="error",
+                    logical=logical or [(report.scenario, "module")],
+                    properties=trace,
+                )
+            )
+        for violation in run.sanitizer_violations:
+            results.append(
+                make_result(
+                    "sanitizer",
+                    violation,
+                    level="error",
+                    logical=[(report.scenario, "module")],
+                    properties=trace,
+                )
+            )
+    for breach in report.dead_edges:
+        results.append(
+            make_result(
+                breach.kind,
+                f"{breach.policy}: {breach.message}",
+                level="error",
+                logical=[(f"{report.scenario}/{breach.edge}", "function")],
+                properties=base_properties,
+            )
+        )
+    return make_sarif("asbsched", rules, results)
 
 
 def check_sarif(report: Any) -> Dict[str, Any]:

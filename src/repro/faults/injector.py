@@ -1,10 +1,15 @@
 """The seeded fault injector the kernel consults at its choke points.
 
-Determinism is the whole design: one dedicated ``random.Random(seed)``
-drives every probabilistic decision, and draws happen in the (already
-deterministic) order of kernel events, so the same (plan, seed) pair
-replays the identical fault sequence byte for byte.  The injector never
-touches the global :mod:`random` state.
+Determinism is the whole design: every probabilistic decision flows
+through one :class:`~repro.kernel.nondet.NondetSource` — by default a
+:class:`~repro.kernel.nondet.SeededSource` whose dedicated
+``random.Random(seed)`` draws in the (already deterministic) order of
+kernel events, so the same (plan, seed) pair replays the identical fault
+sequence byte for byte.  The injector never touches the global
+:mod:`random` state.  The schedule-space explorer
+(:mod:`repro.analysis.sched`) passes its own source instead, turning
+each fractional-probability rule into an explicit branch point, so a
+(plan, seed, schedule) triple fully determines a run.
 
 Every fired fault is recorded three ways:
 
@@ -23,11 +28,11 @@ phase.  ``REPRO_FAULTS``-configured kernels arm at boot.
 from __future__ import annotations
 
 import json
-import random
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from repro.faults.plan import FaultPlan, FaultRule
+from repro.kernel.nondet import NondetSource, SeededSource
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -66,10 +71,16 @@ class FaultInjector:
     the relevant kind (the per-kind rule tuples are precomputed).
     """
 
-    def __init__(self, plan: FaultPlan, seed: int = 0, kernel: Optional["Kernel"] = None):
+    def __init__(
+        self,
+        plan: FaultPlan,
+        seed: int = 0,
+        kernel: Optional["Kernel"] = None,
+        source: Optional[NondetSource] = None,
+    ):
         self.plan = plan
         self.seed = seed
-        self.rng = random.Random(seed)
+        self.source = source if source is not None else SeededSource(seed)
         self.armed = True
         self.events: List[FaultEvent] = []
         self._fires: Dict[str, int] = {}
@@ -85,6 +96,12 @@ class FaultInjector:
         self._counters: Dict[str, Any] = {}
         if kernel is not None:
             self.attach(kernel)
+
+    @property
+    def rng(self):
+        """The PRNG behind the decision source (determinism tests reach in
+        to assert an armed-but-idle injector never advances it)."""
+        return self.source.rng
 
     def attach(self, kernel: "Kernel") -> None:
         """Bind to *kernel*: register the ``kernel.faults.*`` counters."""
@@ -169,7 +186,7 @@ class FaultInjector:
                 continue
             if not rule.matches_port(port) or not rule.matches_name(sender):
                 continue
-            if self.rng.random() >= rule.p:
+            if not self.source.chance(rule.kind, rule.p, f"{sender}->{port:#x}"):
                 continue
             if rule.kind == "drop":
                 self._fire(rule, f"{sender}->{port:#x}")
@@ -214,7 +231,7 @@ class FaultInjector:
             if rule.at_syscall is not None:
                 if count != rule.at_syscall:
                     continue
-            elif self.rng.random() >= rule.p:
+            elif not self.source.chance(rule.kind, rule.p, task_name):
                 continue
             self._fire(rule, task_name, syscall=count)
             return True
@@ -227,7 +244,7 @@ class FaultInjector:
         for rule in self._stall_rules:
             if not self._live(rule, step) or not rule.matches_name(task_name):
                 continue
-            if self.rng.random() < rule.p:
+            if self.source.chance(rule.kind, rule.p, task_name):
                 self._fire(rule, task_name)
                 return True
         return False
@@ -239,7 +256,7 @@ class FaultInjector:
         for rule in self._spawn_rules:
             if not self._live(rule, step) or not rule.matches_name(name):
                 continue
-            if self.rng.random() < rule.p:
+            if self.source.chance(rule.kind, rule.p, name):
                 self._fire(rule, name)
                 return True
         return False
@@ -254,7 +271,7 @@ class FaultInjector:
             if rule.kind == "kill_ep":
                 if step == rule.at_step:
                     self._kill_one_ep(kernel, rule)
-            elif self.rng.random() < rule.p:  # clock_noise
+            elif self.source.chance(rule.kind, rule.p, "<clock>"):  # clock_noise
                 from repro.kernel.clock import OTHER
 
                 kernel.clock.charge(OTHER, rule.cycles)

@@ -180,13 +180,22 @@ class Kernel:
         #: Covert-channel mitigation hook (Section 8): called before each
         #: spawn; returning False denies process creation.
         self.fork_limiter: Optional[Callable[[Process], bool]] = None
-        #: Passive observers (repro.analysis.extract): objects whose
-        #: ``on_spawn``/``on_send``/``on_inject``/``on_ep_create``/
-        #: ``on_new_handle``/``on_new_port``/``on_change_label`` methods
-        #: (all optional) are called at the matching kernel events.  The
-        #: hot paths guard every dispatch behind ``if self.hooks:`` so an
-        #: unobserved kernel pays one falsy check.
+        #: Passive observers (repro.analysis.extract, repro.analysis.sched):
+        #: objects whose ``on_spawn``/``on_send``/``on_inject``/
+        #: ``on_ep_create``/``on_new_handle``/``on_new_port``/
+        #: ``on_change_label``/``on_step``/``on_recv``/``on_deliver``/
+        #: ``on_port_touch`` methods (all optional) are called at the
+        #: matching kernel events.  The hot paths guard every dispatch
+        #: behind ``if self.hooks:`` so an unobserved kernel pays one
+        #: falsy check.
         self.hooks: List[Any] = []
+        #: Pluggable scheduling nondeterminism (repro.kernel.nondet): when
+        #: set, every scheduler pick and every timer-vs-task wake order is
+        #: routed through this source's ``choose``, letting the explorer
+        #: (repro.analysis.sched) drive the kernel through alternative
+        #: interleavings.  None — the default, and the only configuration
+        #: production runs use — is plain FIFO round-robin.
+        self.nondet: Optional[Any] = None
         self._pid = 0
         self._seq = 0
         self._steps = 0
@@ -387,7 +396,20 @@ class Kernel:
         steps = 0
         while steps < max_steps:
             if self._timers:
-                self._fire_due_timers()
+                # Timer-vs-task wake order: with a due timer *and* a
+                # runnable task, the kernel historically fires the timer
+                # first.  A nondet source may invert that for one loop
+                # iteration (the timer stays due and is re-offered), so
+                # the explorer can race timeouts against queued messages.
+                if (
+                    self.nondet is not None
+                    and self.scheduler
+                    and self._timers[0][0] <= self.clock.now
+                    and self.nondet.choose("wake", ("timers", "task")) == 1
+                ):
+                    pass
+                else:
+                    self._fire_due_timers()
             if not self.scheduler:
                 if not self._advance_idle():
                     break
@@ -454,7 +476,15 @@ class Kernel:
         heapq.heappush(self._delayed, (self._steps + rounds, self._delay_serial, kwargs))
 
     def _step(self) -> None:
-        key = self.scheduler.dequeue()
+        if self.nondet is None:
+            key = self.scheduler.dequeue()
+        else:
+            # Controlled pick: the source chooses among every runnable
+            # task (index 0 = the FIFO head, so a default-answering
+            # source reproduces plain round-robin).
+            options = self.scheduler.runnable()
+            key = options[self.nondet.choose("pick", tuple(options))]
+            self.scheduler.take(key)
         task = self.tasks.get(key)
         if task is None or task.state == TaskState.EXITED:
             return
@@ -472,6 +502,8 @@ class Kernel:
             if self.faults.on_pick(task.name, self._steps):
                 self.scheduler.enqueue(key)  # stalled: loses this turn only
                 return
+        if self.hooks:
+            self._hook("on_step", task)
         if isinstance(task, Process) and task.state == TaskState.EP_REALM:
             self._step_ep_realm(task)
             return
@@ -561,6 +593,8 @@ class Kernel:
             if isinstance(request, sc.DissociatePort):
                 if request.port not in task.owned_ports:
                     raise NotOwner(f"dissociate: port {request.port:#x} not owned")
+                if self.hooks:
+                    self._hook("on_port_touch", task, request.port)
                 self._dissociate_port(request.port)
                 task.pending = True
                 return True
@@ -858,10 +892,13 @@ class Kernel:
         """Run the delivery-time checks against *task*; apply effects and
         return True, or record the drop and return False."""
         if self.sanitizer is None:
-            return self._deliver(task, entry, qmsg)
-        snapshot = self.sanitizer.before_deliver(task, entry, qmsg)
-        delivered = self._deliver(task, entry, qmsg)
-        self.sanitizer.after_deliver(task, entry, qmsg, delivered, snapshot)
+            delivered = self._deliver(task, entry, qmsg)
+        else:
+            snapshot = self.sanitizer.before_deliver(task, entry, qmsg)
+            delivered = self._deliver(task, entry, qmsg)
+            self.sanitizer.after_deliver(task, entry, qmsg, delivered, snapshot)
+        if self.hooks:
+            self._hook("on_deliver", task, entry, qmsg, delivered)
         return delivered
 
     def _deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
@@ -1042,6 +1079,8 @@ class Kernel:
         if request.port is not None and request.port not in task.owned_ports:
             task.pending_exc = NotOwner(f"recv on port {request.port:#x} not owned")
             return True
+        if self.hooks:
+            self._hook("on_recv", task, request)
         delivered = self._pick_and_deliver(task, request.port)
         if delivered is not None:
             task.pending = delivered
@@ -1063,6 +1102,8 @@ class Kernel:
             return True
         if isinstance(request, sc.Deadline):
             return False  # only the timer wakes a sleeper
+        if self.hooks:
+            self._hook("on_recv", task, request)
         delivered = self._pick_and_deliver(task, request.port)
         if delivered is None:
             return False
@@ -1142,6 +1183,8 @@ class Kernel:
             raise NotOwner(f"set_port_label: port {request.port:#x} not owned")
         # Unlike new_port, the input is used verbatim (Section 5.5).
         entry.label = self._intern(ChunkedLabel.from_label(request.label))
+        if self.hooks:
+            self._hook("on_port_touch", task, request.port)
         return True
 
     def _sys_change_label(self, task: Task, request: sc.ChangeLabel) -> bool:

@@ -22,18 +22,21 @@ length) ``deque.remove`` scan, no matter how many other tasks exist.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Set
+from typing import Deque, List, Set
 
 
 class Scheduler:
     """FIFO run queue with membership tracking and lazy deletion.
 
     Invariant: ``_queued`` ⊆ keys present in ``_queue``; deque entries
-    not in ``_queued`` are stale and skipped at ``dequeue``.  Because
-    ``enqueue`` is idempotent while a key is queued, a key occurs at most
-    once *live* in the deque, so FIFO order of live keys is exactly the
-    order of their most recent enqueue — identical semantics to eager
-    removal, observable length included.
+    not in ``_queued`` are stale and skipped at ``dequeue``.  A runnable
+    key's position is its *earliest* queued occurrence: a task that
+    blocks (``remove``) and wakes (``enqueue``) before its old entry
+    surfaces resurrects that entry and keeps its original turn — a
+    deliberate, deterministic divergence from eager removal (which would
+    send it to the back).  ``runnable``/``take`` mirror ``dequeue``'s
+    view exactly, so the explorer sees the same order the FIFO path
+    would run.
     """
 
     def __init__(self) -> None:
@@ -56,6 +59,34 @@ class Scheduler:
     def remove(self, key: str) -> None:
         """Drop *key* from the queue if present (task exited/blocked)."""
         self._queued.discard(key)
+
+    # -- controlled scheduling (repro.analysis.sched) -----------------------
+
+    def runnable(self) -> List[str]:
+        """Live keys in dequeue order: index *i* here is exactly the key
+        the (i+1)-th consecutive ``dequeue`` would return.  O(queue
+        length) — used only by the explorer, never on the FIFO hot path."""
+        out: List[str] = []
+        seen: Set[str] = set()
+        for key in self._queue:
+            if key in self._queued and key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out
+
+    def take(self, key: str) -> None:
+        """Dequeue *key* specifically (a controlled pick).  The key's
+        earliest deque occurrence is removed eagerly — exactly the entry
+        ``dequeue`` would have consumed for it — so ``take`` composes
+        with re-enqueue precisely like the FIFO path does.  O(queue
+        length), explorer-only."""
+        if key not in self._queued:
+            raise KeyError(f"not runnable: {key!r}")
+        self._queued.discard(key)
+        try:
+            self._queue.remove(key)
+        except ValueError:  # pragma: no cover - _queued ⊆ deque invariant
+            pass
 
     def __contains__(self, key: str) -> bool:
         return key in self._queued

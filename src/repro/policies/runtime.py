@@ -1,0 +1,236 @@
+"""Runtime policy monitor: the asbcheck assertions, checked on a live kernel.
+
+asbcheck (:mod:`repro.analysis.check`) proves the policy battery of
+:mod:`repro.policies.assertions` over the *model*'s label state space;
+this module checks the same four kinds against a *running* kernel, one
+label state at a time, so the schedule-space explorer
+(:mod:`repro.analysis.sched`) can evaluate every interleaving it drives
+the kernel through:
+
+- :class:`~repro.policies.assertions.Isolation` — checked on each
+  process's live send label after every mutation (delivery effects,
+  ``change_label``) and on the effective send label of every delivery
+  the process emits;
+- :class:`~repro.policies.assertions.CapabilityConfinement` — ⋆ holdings
+  in live send labels;
+- :class:`~repro.policies.assertions.MandatoryDeclassifier` — each
+  delivery that did not travel a declassifier edge, against the message's
+  effective send label at the sink;
+- :class:`~repro.policies.assertions.DeadEdges` — a liveness property of
+  the *whole exploration*, not one run: the explorer unions delivered
+  edge names across every schedule and asks :meth:`RuntimeMonitor.
+  dead_edge_breaches` at the end.
+
+The monitor works on symbolic handle names (the topology's vocabulary)
+mapped to the concrete handles installed in the kernel, and deduplicates
+breaches by (policy, subject), so a violating schedule reports each
+distinct breach once no matter how often the bad state recurs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.handles import Handle
+from repro.core.levels import STAR, level_name
+
+from repro.policies.assertions import (
+    CapabilityConfinement,
+    DeadEdges,
+    Isolation,
+    MandatoryDeclassifier,
+    Policy,
+    matches,
+)
+
+#: A live label: anything mapping handle → level when called (both
+#: :class:`~repro.core.chunks.ChunkedLabel` and plain ``Label`` qualify).
+LiveLabel = Callable[[Handle], int]
+
+
+@dataclass(frozen=True)
+class PolicyBreach:
+    """One observed policy violation in one schedule."""
+
+    kind: str              # policy kind ("isolation", ...)
+    policy: str            # policy.describe()
+    process: str           # the process whose state breached (or sink)
+    handle: str            # symbolic handle name ("" for dead-edge)
+    edge: str              # delivering edge name, when delivery-bound
+    step: int              # scheduler step index at detection (-1: terminal)
+    message: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "policy": self.policy,
+            "process": self.process,
+            "handle": self.handle,
+            "edge": self.edge,
+            "step": self.step,
+            "message": self.message,
+        }
+
+
+class RuntimeMonitor:
+    """Checks a policy battery against live kernel label state.
+
+    *handles* maps symbolic names to the concrete handles the scenario
+    installed; *declassifier_edges* names the topology's declassifier
+    edges (deliveries over them are exempt from mandatory-declassifier).
+    """
+
+    def __init__(
+        self,
+        policies: Sequence[Policy],
+        handles: Mapping[str, Handle],
+        declassifier_edges: Iterable[str] = (),
+    ):
+        self.policies = list(policies)
+        self.handles: Dict[str, Handle] = dict(handles)
+        self.declassifier_edges: Set[str] = set(declassifier_edges)
+        self.breaches: List[PolicyBreach] = []
+        self.delivered_edges: Set[str] = set()
+        self._seen: Set[Tuple[Any, ...]] = set()
+        self._isolation = [p for p in self.policies if isinstance(p, Isolation)]
+        self._confinement = [
+            p for p in self.policies if isinstance(p, CapabilityConfinement)
+        ]
+        self._declass = [
+            p for p in self.policies if isinstance(p, MandatoryDeclassifier)
+        ]
+        self._dead = [p for p in self.policies if isinstance(p, DeadEdges)]
+
+    def _breach(
+        self,
+        policy: Policy,
+        process: str,
+        handle: str,
+        message: str,
+        step: int,
+        edge: str = "",
+    ) -> None:
+        key = (policy, process, handle, edge)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.breaches.append(
+            PolicyBreach(
+                kind=policy.kind,
+                policy=policy.describe(),
+                process=process,
+                handle=handle,
+                edge=edge,
+                step=step,
+                message=message,
+            )
+        )
+
+    # -- per-state checks ---------------------------------------------------
+
+    def check_process(self, name: str, send_label: LiveLabel, step: int) -> None:
+        """Isolation and capability confinement against one live QS."""
+        for policy in self._isolation:
+            if not matches(policy.process, name):
+                continue
+            handle = self.handles.get(policy.handle)
+            if handle is None:
+                continue
+            level = send_label(handle)
+            if level > policy.max_level:
+                self._breach(
+                    policy,
+                    name,
+                    policy.handle,
+                    f"{name} carries {policy.handle} at {level_name(level)} "
+                    f"(bound {level_name(policy.max_level)})",
+                    step,
+                )
+        for policy in self._confinement:
+            handle = self.handles.get(policy.handle)
+            if handle is None:
+                continue
+            if send_label(handle) == STAR and not policy.permits(name):
+                self._breach(
+                    policy,
+                    name,
+                    policy.handle,
+                    f"{name} holds * for {policy.handle}",
+                    step,
+                )
+
+    def check_delivery(
+        self,
+        edge: Optional[str],
+        sender: str,
+        receiver: str,
+        effective_send: LiveLabel,
+        step: int,
+    ) -> None:
+        """One successful delivery: mandatory-declassifier at the sink,
+        isolation against the sender's effective send label, and edge
+        liveness bookkeeping."""
+        if edge:
+            self.delivered_edges.add(edge)
+        declassified = edge is not None and edge in self.declassifier_edges
+        for policy in self._declass:
+            if declassified or not matches(policy.sink, receiver):
+                continue
+            handle = self.handles.get(policy.handle)
+            if handle is None:
+                continue
+            level = effective_send(handle)
+            if level > policy.max_level:
+                self._breach(
+                    policy,
+                    receiver,
+                    policy.handle,
+                    f"{edge or sender} delivers {policy.handle} at "
+                    f"{level_name(level)} into {receiver} without a "
+                    "declassifier",
+                    step,
+                    edge=edge or "",
+                )
+        for policy in self._isolation:
+            if not matches(policy.process, sender):
+                continue
+            handle = self.handles.get(policy.handle)
+            if handle is None:
+                continue
+            level = effective_send(handle)
+            if level > policy.max_level:
+                self._breach(
+                    policy,
+                    sender,
+                    policy.handle,
+                    f"{sender} emits {policy.handle} at {level_name(level)} "
+                    f"(bound {level_name(policy.max_level)})",
+                    step,
+                    edge=edge or "",
+                )
+
+    # -- whole-exploration checks -------------------------------------------
+
+    def dead_edge_breaches(
+        self, all_edges: Iterable[str], delivered: Set[str]
+    ) -> List[PolicyBreach]:
+        """Covered edges that delivered in *no* explored schedule.  Only
+        meaningful when the exploration ran to completion."""
+        out: List[PolicyBreach] = []
+        for policy in self._dead:
+            for edge in all_edges:
+                if policy.covers(edge) and edge not in delivered:
+                    out.append(
+                        PolicyBreach(
+                            kind=policy.kind,
+                            policy=policy.describe(),
+                            process="",
+                            handle="",
+                            edge=edge,
+                            step=-1,
+                            message=f"edge {edge} delivered in no explored "
+                            "schedule",
+                        )
+                    )
+        return out

@@ -1,0 +1,144 @@
+"""Scheduler edge cases: idempotent re-enqueue, blocked→runnable churn
+under lazy deletion (slot resurrection), the amortized work bound, and
+the explorer's ``runnable``/``take`` contract (index *i* of
+``runnable()`` is exactly the key the (i+1)-th consecutive ``dequeue``
+would return)."""
+
+from collections import deque
+
+import pytest
+
+from repro.kernel.scheduler import Scheduler
+
+
+def drain(sched: Scheduler):
+    out = []
+    while sched:
+        out.append(sched.dequeue())
+    return out
+
+
+def test_enqueue_idempotent_while_runnable():
+    sched = Scheduler()
+    sched.enqueue("a")
+    sched.enqueue("a")
+    sched.enqueue("a")
+    assert len(sched) == 1
+    assert drain(sched) == ["a"]
+
+
+def test_reenqueue_after_dequeue_lands_at_back():
+    sched = Scheduler()
+    for key in ("a", "b", "c"):
+        sched.enqueue(key)
+    assert sched.dequeue() == "a"
+    sched.enqueue("a")
+    assert drain(sched) == ["b", "c", "a"]
+
+
+def test_block_then_wake_resurrects_original_slot():
+    """Lazy deletion's observable semantics: a key that blocks and wakes
+    before its stale entry surfaces keeps its original turn (eager
+    removal would send it to the back).  Pinned because the explorer's
+    ``runnable()`` must present the same order."""
+    sched = Scheduler()
+    for key in ("a", "b", "c"):
+        sched.enqueue(key)
+    sched.remove("b")
+    sched.enqueue("b")
+    assert sched.runnable() == ["a", "b", "c"]
+    assert drain(sched) == ["a", "b", "c"]
+
+
+def test_block_then_wake_after_surfacing_lands_at_back():
+    """Once the stale entry has been consumed, a re-enqueue is a genuine
+    arrival at the back."""
+    sched = Scheduler()
+    for key in ("a", "b", "c"):
+        sched.enqueue(key)
+    sched.remove("b")
+    assert sched.dequeue() == "a"
+    assert sched.dequeue() == "c"  # skips b's stale entry, consuming it
+    sched.enqueue("b")
+    assert drain(sched) == ["b"]
+
+
+def test_churn_against_stable_background():
+    sched = Scheduler()
+    sched.enqueue("x")
+    sched.enqueue("y")
+    for _ in range(100):
+        sched.remove("y")
+        sched.enqueue("y")
+    # Every churn cycle resurrected y's original slot; x still first.
+    assert drain(sched) == ["x", "y"]
+
+
+def test_lazy_deletion_work_bound():
+    """Each enqueue is paid for by at most one popleft, ever — O(runnable)
+    amortized per operation, never O(history).  Churn does append
+    duplicate entries, but only the earliest is live; the rest are
+    skipped (and paid for) exactly once each when they surface."""
+
+    class CountingDeque(deque):
+        popped = 0
+
+        def popleft(self):
+            CountingDeque.popped += 1
+            return super().popleft()
+
+    sched = Scheduler()
+    sched._queue = CountingDeque()
+    enqueues = 0
+    for key in ("a", "b", "c", "d"):
+        sched.enqueue(key)
+        enqueues += 1
+    for _ in range(500):
+        sched.remove("c")
+        sched.enqueue("c")
+        enqueues += 1
+    # One duplicate per churn cycle; the earliest occurrence stays live.
+    assert len(sched._queue) == 504
+    assert drain(sched) == ["a", "b", "c", "d"]
+    # The buried duplicates survive the drain as stale entries; the next
+    # dequeue pays each exactly once, and the lifetime total never
+    # exceeds one popleft per enqueue.
+    sched.enqueue("e")
+    enqueues += 1
+    assert sched.dequeue() == "e"
+    assert len(sched._queue) == 0
+    assert CountingDeque.popped <= enqueues
+
+
+def test_runnable_matches_consecutive_dequeue_order():
+    sched = Scheduler()
+    for key in ("a", "b", "c", "d"):
+        sched.enqueue(key)
+    sched.remove("b")
+    sched.remove("d")
+    sched.enqueue("b")          # resurrects slot 2
+    assert sched.runnable() == ["a", "b", "c"]
+    assert drain(sched) == ["a", "b", "c"]
+
+
+def test_take_consumes_exactly_the_dequeue_entry():
+    sched = Scheduler()
+    for key in ("a", "b", "c"):
+        sched.enqueue(key)
+    sched.take("b")
+    assert "b" not in sched
+    # b's entry is gone eagerly, so a re-enqueue is a genuine arrival at
+    # the back — the same as dequeue-then-enqueue on the FIFO path.
+    sched.enqueue("b")
+    assert sched.runnable() == ["a", "c", "b"]
+    assert drain(sched) == ["a", "c", "b"]
+
+
+def test_take_nonrunnable_raises():
+    sched = Scheduler()
+    sched.enqueue("a")
+    with pytest.raises(KeyError):
+        sched.take("zombie")
+    sched.take("a")
+    with pytest.raises(KeyError):
+        sched.take("a")
