@@ -20,6 +20,11 @@ Quick tour of the public surface:
 - :mod:`repro.faults` — deterministic fault injection: declarative
   :class:`~repro.faults.FaultPlan` documents, the seeded injector, and
   the ``python -m repro chaos`` campaign runner.
+- :mod:`repro.cluster` — the sharded multi-core kernel:
+  :class:`~repro.cluster.Cluster` runs N kernels as parallel OS
+  processes behind one facade, exchanging ``wire/v1`` messages with
+  full Figure 4 checks re-run on the receiving shard (DESIGN.md §13);
+  ``python -m repro bench --scale`` measures the scaling.
 
 The stable, re-exported surface is exactly ``repro.__all__`` below (see
 the API table in README.md); anything else may move between releases.
@@ -31,7 +36,7 @@ from repro.core import Label, STAR, L0, L1, L2, L3, Handle, HandleAllocator
 from repro.kernel import Kernel, KernelConfig
 from repro.obs import MetricsRegistry, SpanRecorder, kernel_snapshot
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # label algebra
@@ -65,6 +70,9 @@ __all__ = [
     "FaultPlan",
     "load_plan",
     "run_campaign",
+    # the sharded cluster (repro.cluster, DESIGN.md §13)
+    "Cluster",
+    "ClusterConfig",
     # the interned-label fast path (repro.core.interning, DESIGN.md §11)
     "InternTable",
     "LabelOpCache",
@@ -92,6 +100,8 @@ _LAZY = {
     "FaultPlan": ("repro.faults", "FaultPlan"),
     "load_plan": ("repro.faults", "load_plan"),
     "run_campaign": ("repro.faults", "run_campaign"),
+    "Cluster": ("repro.cluster", "Cluster"),
+    "ClusterConfig": ("repro.cluster", "ClusterConfig"),
 }
 
 

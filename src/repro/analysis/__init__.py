@@ -54,35 +54,16 @@ from repro.analysis.rules import (
     resolve_rule,
 )
 from repro.analysis.sanitizer import LabelSanitizer, SanitizerViolation, Violation
-
-#: asbsched re-exports resolve lazily: sched.py consumes
-#: repro.policies.assertions, which itself imports repro.analysis.model —
-#: an eager import here would close that cycle whenever repro.policies
-#: loads first (e.g. ``from repro.policies.mls import MlsPolicy``).
-_SCHED_EXPORTS = (
-    "ExploreReport",
-    "RunResult",
-    "Scenario",
-    "explore",
-    "okws_scenario",
-    "replay_schedule",
-    "scenario_from_topology",
-    "shrink_schedule",
+from repro.analysis.sched import (
+    ExploreReport,
+    RunResult,
+    Scenario,
+    explore,
+    okws_scenario,
+    replay_schedule,
+    scenario_from_topology,
+    shrink_schedule,
 )
-
-
-def __getattr__(name):
-    if name in _SCHED_EXPORTS:
-        import importlib
-
-        value = getattr(importlib.import_module("repro.analysis.sched"), name)
-        globals()[name] = value
-        return value
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-
-
-def __dir__():
-    return sorted(set(globals()) | set(_SCHED_EXPORTS))
 
 __all__ = [
     "AbstractLabel",

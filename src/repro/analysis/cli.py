@@ -4,13 +4,32 @@ Subcommands::
 
     python -m repro                # the guided tour (default)
     python -m repro tour
-    python -m repro analyze <paths...> [--format text|json|sarif] [--select RULES]
-    python -m repro check [--topology FILE | --okws] [--policy FILE] [--format ...]
+    python -m repro analyze <paths...> [--select RULES]
+    python -m repro check [--topology FILE | --okws] [--policy FILE]
     python -m repro explore [--topology FILE | --okws] [--dpor|--exhaustive]
                             [--depth N] [--shrink/--no-shrink] [--plan FILE]
     python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
-    python -m repro bench [--quick] [--out DIR] [--only FIGS]
+    python -m repro chaos --plan FILE [--seeds N,N...]
+    python -m repro bench [--quick] [--only FIGS] [--scale] [--guard BASELINE...]
     python -m repro bench --validate <BENCH_*.json...>
+
+Every subcommand shares one option surface (a common argparse parent):
+
+- ``--format text|json|sarif`` — report format.  ``sarif`` (GitHub
+  code-scanning 2.1.0) is supported by the analysis commands
+  (``analyze``/``check``/``explore``); elsewhere it is a usage error.
+- ``--out PATH`` — where output artifacts land: the report file for
+  ``analyze``/``check``/``run``, the chaos-report/v1 document for
+  ``chaos``, the output *directory* for ``bench`` (default ``.``) and
+  for ``explore`` counterexamples.
+- ``--seed N`` — the deterministic seed wherever one applies
+  (``explore`` fault draws, ``chaos`` campaigns); accepted and ignored
+  by the fully deterministic commands so scripts can pass it uniformly.
+
+And one exit-code convention: **0** clean, **1** a violation, failing
+campaign, or guarded regression, **2** usage error.  Pre-unification
+spellings (``--json`` on the analysis commands, ``chaos --json FILE``)
+remain as hidden aliases.
 
 ``analyze`` runs the asblint static pass and exits 1 if any finding
 survives the pragma filter; ``--topology`` links each finding to the
@@ -24,13 +43,13 @@ default), exits 1 on any schedule that breaks the policy battery or the
 differential sanitizer, and shrinks that schedule to a minimal
 byte-identically replayable counterexample (``--out`` writes the
 schedule/v1 + faultplan/v1 pair; ``--replay`` re-executes one).
-``run`` drives the
-OKWS demo workload on a live kernel; with ``--sanitize`` every IPC is
-differentially checked against the naive label operators.  ``bench``
-regenerates the paper's figures headlessly as ``BENCH_<figure>.json``
-documents; ``--validate`` checks existing documents instead.  Both
-analysis commands emit SARIF 2.1.0 with ``--format sarif`` for GitHub
-code scanning.
+``run`` drives the OKWS demo workload on a live kernel; with
+``--sanitize`` every IPC is differentially checked against the naive
+label operators.  ``bench`` regenerates the paper's figures headlessly
+as ``BENCH_<figure>.json`` documents; ``--scale`` selects the sharded
+``repro.cluster`` scaling bench (DESIGN.md §13), ``--validate`` checks
+existing documents instead, and ``--guard`` fails on regressions
+against committed baselines.
 """
 
 from __future__ import annotations
@@ -94,6 +113,32 @@ def _cmd_tour() -> int:
     return 0
 
 
+def _emit(text: str, out: Optional[str]) -> None:
+    """Print *text*, or write it to *out* when given (the unified
+    ``--out`` behaviour for report-producing commands)."""
+    if out:
+        with open(out, "w") as fh:
+            fh.write(text)
+            if not text.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
+def _reject_sarif(command: str, args: argparse.Namespace) -> bool:
+    """SARIF only makes sense for the code-scanning commands; everywhere
+    else it is a usage error (exit 2), not a silent fallback."""
+    if getattr(args, "format", "text") == "sarif":
+        print(
+            f"repro {command}: --format sarif is only supported by "
+            "analyze/check/explore",
+            file=sys.stderr,
+        )
+        return True
+    return False
+
+
 def _parse_select(spec: Optional[str]) -> Optional[Set[str]]:
     if not spec:
         return None
@@ -139,13 +184,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             return 2
     fmt = "json" if args.json else args.format
     if fmt == "json":
-        print(asblint.render_json(reports))
+        _emit(asblint.render_json(reports), args.out)
     elif fmt == "sarif":
         from repro.analysis import sarif
 
-        print(sarif.render(sarif.asblint_sarif(reports)))
+        _emit(sarif.render(sarif.asblint_sarif(reports)), args.out)
     else:
-        print(asblint.format_reports(reports, verbose=args.verbose))
+        _emit(asblint.format_reports(reports, verbose=args.verbose), args.out)
     return 1 if asblint.findings(reports) else 0
 
 
@@ -196,13 +241,13 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     fmt = "json" if args.json else args.format
     if fmt == "json":
-        print(json.dumps(report.to_json(), indent=2))
+        _emit(json.dumps(report.to_json(), indent=2), args.out)
     elif fmt == "sarif":
         from repro.analysis import sarif
 
-        print(sarif.render(sarif.check_sarif(report)))
+        _emit(sarif.render(sarif.check_sarif(report)), args.out)
     else:
-        print(report.format())
+        _emit(report.format(), args.out)
     return 0 if report.ok else 1
 
 
@@ -305,6 +350,8 @@ def _cmd_explore(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if _reject_sarif("run", args):
+        return 2
     # The kernel is constructed deep inside okws.launch; the environment
     # variable is how the sanitizer flag crosses that distance (and how a
     # whole test suite is swept under the sanitizer, cf. CI).
@@ -336,25 +383,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except SanitizerViolation as violation:
         print(f"repro run: {violation}", file=sys.stderr)
         return 1
-    print(f"alice sees {alice.body}; bob sees {bob.body}")
-    print(
-        "kernel drops so far: "
-        f"label-check={site.kernel.drop_log.count('label-check')}"
-    )
-    if tracer is not None:
-        print(tracer.format(last=args.trace_last))
     sanitizer = site.kernel.sanitizer
+    violations = list(sanitizer.violations) if sanitizer is not None else []
+    if args.format == "json":
+        import json
+
+        doc = {
+            "alice": alice.body,
+            "bob": bob.body,
+            "drops": {"label-check": site.kernel.drop_log.count("label-check")},
+            "sanitized": sanitizer is not None,
+            "sanitizer_violations": len(violations),
+        }
+        _emit(json.dumps(doc, indent=2, sort_keys=True), args.out)
+        return 1 if violations else 0
+    lines = [
+        f"alice sees {alice.body}; bob sees {bob.body}",
+        "kernel drops so far: "
+        f"label-check={site.kernel.drop_log.count('label-check')}",
+    ]
+    if tracer is not None:
+        lines.append(tracer.format(last=args.trace_last))
     if sanitizer is not None:
-        print(sanitizer.summary())
-        for violation in sanitizer.violations:
-            print(violation.format())
-        return 1 if sanitizer.violations else 0
-    return 0
+        lines.append(sanitizer.summary())
+        lines.extend(v.format() for v in violations)
+    _emit("\n".join(lines), args.out)
+    return 1 if violations else 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
     from repro.obs import bench
 
+    if _reject_sarif("bench", args):
+        return 2
     if args.validate:
         results = bench.validate_files(args.validate)
         bad = False
@@ -370,27 +433,46 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     only = None
     if args.only:
         only = [f.strip() for f in args.only.split(",") if f.strip()]
+    if args.scale:
+        # --scale selects the cluster scaling figure; combined with
+        # --only it adds "scale" to the selection.
+        only = (only or []) + ["scale"] if only else ["scale"]
+    out_dir = args.out or "."
     try:
-        paths = bench.run_bench(out_dir=args.out, quick=args.quick, only=only)
+        paths = bench.run_bench(out_dir=out_dir, quick=args.quick, only=only)
     except ValueError as err:
         print(f"repro bench: {err}", file=sys.stderr)
         return 2
-    print(f"repro bench: {len(paths)} document(s) written")
+    guard_problems: Optional[List[str]] = None
     if args.guard:
-        problems = bench.guard_files(args.guard, args.out, tolerance=args.tolerance)
-        if problems:
-            for problem in problems:
+        guard_problems = bench.guard_files(
+            args.guard, out_dir, tolerance=args.tolerance
+        )
+    if args.format == "json":
+        print(
+            json.dumps(
+                {"written": paths, "guard_problems": guard_problems},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"repro bench: {len(paths)} document(s) written")
+    if guard_problems is not None:
+        if guard_problems:
+            for problem in guard_problems:
                 print(f"repro bench: guard: {problem}", file=sys.stderr)
             print(
-                f"repro bench: guard FAILED ({len(problems)} regression(s) "
+                f"repro bench: guard FAILED ({len(guard_problems)} regression(s) "
                 f"beyond {args.tolerance:.0%})",
                 file=sys.stderr,
             )
             return 1
-        print(
-            f"repro bench: guard passed ({len(args.guard)} baseline(s) "
-            f"within {args.tolerance:.0%})"
-        )
+        if args.format != "json":
+            print(
+                f"repro bench: guard passed ({len(args.guard)} baseline(s) "
+                f"within {args.tolerance:.0%})"
+            )
     return 0
 
 
@@ -400,14 +482,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.campaign import run_campaign
     from repro.faults.plan import PlanError, load_plan
 
+    if _reject_sarif("chaos", args):
+        return 2
     try:
         plan = load_plan(args.plan)
     except (OSError, PlanError, ValueError) as err:
         print(f"repro chaos: {err}", file=sys.stderr)
         return 2
 
+    quiet = args.format == "json"
+    seeds = args.seeds if args.seeds is not None else [args.seed]
     results = []
-    for seed in args.seeds:
+    for seed in seeds:
         result = run_campaign(
             plan,
             seed=seed,
@@ -437,20 +523,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     return 1
             result.checks["deterministic"] = True
         results.append(result)
-        print(f"== chaos campaign: plan={args.plan} seed={seed} ==")
-        for line in result.summary_lines():
-            print(f"  {line}")
+        if not quiet:
+            print(f"== chaos campaign: plan={args.plan} seed={seed} ==")
+            for line in result.summary_lines():
+                print(f"  {line}")
 
-    if args.json:
+    if quiet or args.out:
         doc = {
             "schema": "chaos-report/v1",
             "plan_path": args.plan,
             "campaigns": [r.to_json() for r in results],
         }
-        with open(args.json, "w") as fh:
-            json.dump(doc, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        print(f"repro chaos: wrote {args.json}")
+        _emit(json.dumps(doc, indent=2, sort_keys=True), args.out)
 
     failed = [r for r in results if not r.passed]
     if failed:
@@ -459,32 +543,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    print(f"repro chaos: {len(results)} campaign(s) passed")
+    if not quiet:
+        print(f"repro chaos: {len(results)} campaign(s) passed")
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Asbestos labels & event processes reproduction",
+        description="Asbestos labels & event processes reproduction "
+        "(exit codes: 0 clean, 1 violation or regression, 2 usage error)",
     )
     sub = parser.add_subparsers(dest="command")
 
-    sub.add_parser("tour", help="the two-minute guided tour (default)")
-
-    analyze = sub.add_parser(
-        "analyze", help="run the asblint static label-flow checker"
-    )
-    analyze.add_argument("paths", nargs="*", help="files or directories to analyze")
-    analyze.add_argument(
-        "--json", action="store_true", help="shorthand for --format json"
-    )
-    analyze.add_argument(
+    # The shared option surface: every subcommand accepts the same
+    # --format/--out/--seed spellings (see the module docstring for the
+    # per-command meaning of --out).
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
         default="text",
-        help="report format (sarif: GitHub code-scanning schema)",
+        help="report format (sarif: GitHub code-scanning schema; "
+        "analyze/check/explore only)",
     )
+    common.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output location: report file (analyze/check/run/chaos) or "
+        "directory (bench documents, explore counterexamples)",
+    )
+    common.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="deterministic seed where one applies (explore fault draws, "
+        "chaos campaigns); ignored by fully deterministic commands",
+    )
+
+    sub.add_parser(
+        "tour", parents=[common], help="the two-minute guided tour (default)"
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        parents=[common],
+        help="run the asblint static label-flow checker",
+    )
+    analyze.add_argument("paths", nargs="*", help="files or directories to analyze")
+    analyze.add_argument(
+        "--json", action="store_true", help=argparse.SUPPRESS
+    )  # legacy alias for --format json
     analyze.add_argument(
         "--topology",
         metavar="FILE",
@@ -503,7 +614,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     check = sub.add_parser(
-        "check", help="run the asbcheck whole-system model checker"
+        "check",
+        parents=[common],
+        help="run the asbcheck whole-system model checker",
     )
     check.add_argument(
         "--topology", metavar="FILE", help="topology document (topology/v1 JSON)"
@@ -520,14 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
         "topology's embedded battery",
     )
     check.add_argument(
-        "--json", action="store_true", help="shorthand for --format json"
-    )
-    check.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="report format (sarif: GitHub code-scanning schema)",
-    )
+        "--json", action="store_true", help=argparse.SUPPRESS
+    )  # legacy alias for --format json
     check.add_argument(
         "--exact",
         action="store_true",
@@ -548,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     explore = sub.add_parser(
         "explore",
+        parents=[common],
         help="run the asbsched schedule-space explorer over a topology",
     )
     explore.add_argument(
@@ -568,13 +676,6 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="policy JSON (list or {\"policies\": [...]}); default: the "
         "topology's embedded battery",
-    )
-    explore.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        metavar="N",
-        help="fault seed for unbranched fractional draws (default: 0)",
     )
     explore.add_argument(
         "--max-steps",
@@ -622,27 +723,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock budget before truncating (default: none)",
     )
     explore.add_argument(
-        "--out",
-        metavar="DIR",
-        help="on violation, write the minimized schedule/v1 + faultplan/v1",
-    )
-    explore.add_argument(
         "--replay",
         metavar="FILE",
         help="re-execute one schedule/v1 file instead of exploring",
     )
     explore.add_argument(
-        "--json", action="store_true", help="shorthand for --format json"
-    )
-    explore.add_argument(
-        "--format",
-        choices=("text", "json", "sarif"),
-        default="text",
-        help="report format (sarif: GitHub code-scanning schema)",
-    )
+        "--json", action="store_true", help=argparse.SUPPRESS
+    )  # legacy alias for --format json
     explore.set_defaults(exhaustive=False, shrink=True)
 
-    run = sub.add_parser("run", help="run the OKWS demo workload")
+    run = sub.add_parser(
+        "run", parents=[common], help="run the OKWS demo workload"
+    )
     run.add_argument(
         "--sanitize",
         action="store_true",
@@ -668,6 +760,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = sub.add_parser(
         "chaos",
+        parents=[common],
         help="run a seeded fault-injection campaign against the OKWS site",
     )
     chaos.add_argument(
@@ -679,9 +772,9 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--seeds",
         type=lambda s: [int(x) for x in s.split(",") if x.strip()],
-        default=[0],
+        default=None,
         metavar="N[,N...]",
-        help="injector seeds, one campaign each (default: 0)",
+        help="injector seeds, one campaign each (default: the one --seed)",
     )
     chaos.add_argument(
         "--users", type=int, default=8, metavar="N", help="site users (default: 8)"
@@ -715,22 +808,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="runs per seed for the determinism audit (default: 2; 1 skips it)",
     )
     chaos.add_argument(
-        "--json", metavar="FILE", help="also write a chaos-report/v1 document"
-    )
+        "--json", dest="out", metavar="FILE", help=argparse.SUPPRESS
+    )  # legacy alias for --out FILE
 
     bench = sub.add_parser(
-        "bench", help="regenerate the paper's figures as BENCH_*.json"
+        "bench",
+        parents=[common],
+        help="regenerate the paper's figures as BENCH_*.json",
     )
+    # NB: no set_defaults(out=...) here — parents=[common] shares the
+    # action objects, so a subparser-level default would leak into every
+    # other command.  bench resolves None to "." in its handler.
     bench.add_argument(
         "--quick", action="store_true", help="CI-scale grids (tens of seconds)"
     )
     bench.add_argument(
-        "--out", default=".", metavar="DIR", help="output directory (default: .)"
-    )
-    bench.add_argument(
         "--only",
         metavar="FIGS",
-        help="comma-separated subset of fig6,fig7,fig8,fig9,labelops",
+        help="comma-separated subset of fig6,fig7,fig8,fig9,labelops,scale",
+    )
+    bench.add_argument(
+        "--scale",
+        action="store_true",
+        help="run the sharded repro.cluster scaling bench (BENCH_scale.json); "
+        "combined with --only, adds it to the selection",
     )
     bench.add_argument(
         "--validate",

@@ -47,29 +47,24 @@ from repro.core.labels import (
     DEFAULT_VERIFY,
     Label,
 )
-from repro.core.levels import L0, L3, STAR, Level, level_name
+from repro.core.levels import L0, L3, STAR, Level, level_name, parse_level
+
+__all__ = [  # parse_level re-exported: it lived here before moving to core.levels
+    "EdgeSpec",
+    "LabelStore",
+    "PortSpec",
+    "ProcSpec",
+    "Topology",
+    "TopologyError",
+    "from_json",
+    "load",
+    "loads",
+    "parse_level",
+]
 
 #: Where auto-minted symbolic handles start; far above the tiny literals
 #: examples use, far below the 61-bit ceiling.
 _AUTO_HANDLE_BASE = 0x1000
-
-
-def parse_level(value: Union[str, int]) -> Level:
-    """``"*"``/``"0"``…``"3"`` (or an int, ``-1`` for ⋆) → level."""
-    if isinstance(value, bool):
-        raise ValueError(f"not a level: {value!r}")
-    if isinstance(value, int):
-        if value not in (STAR, 0, 1, 2, 3):
-            raise ValueError(f"not a level: {value!r}")
-        return value
-    text = str(value).strip()
-    if text == "*":
-        return STAR
-    if text in ("0", "1", "2", "3"):
-        return int(text)
-    if text == "-1":
-        return STAR
-    raise ValueError(f"not a level: {value!r}")
 
 
 @dataclass

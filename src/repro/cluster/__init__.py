@@ -1,0 +1,38 @@
+"""``repro.cluster`` — N kernel shards behind one facade (DESIGN.md §13).
+
+The paper's kernel is a uniprocessor; this package scales the simulation
+across cores the way a real Asbestos deployment would scale across
+machines: N independent kernels, each owning a static partition of the
+users (and therefore of the processes, ports, and labels their sessions
+touch), exchanging ``(message, labels, effects)`` over a canonical wire
+format with full Figure 4 checks re-run on the receiving shard.
+
+Public surface:
+
+- :class:`Cluster` / :class:`ClusterConfig` — the facade (also
+  re-exported from :mod:`repro`);
+- :class:`BatchResult` — one aggregated workload round;
+- :class:`ClusterError` — shard boot/command failures;
+- :mod:`repro.cluster.wire` — the ``wire/v1`` codec, usable standalone.
+"""
+
+from repro.cluster.facade import BatchResult, Cluster, ClusterConfig, ClusterError
+from repro.cluster.wire import (
+    WIRE_SCHEMA,
+    WireDecoder,
+    WireEncoder,
+    WireError,
+    XShardMessage,
+)
+
+__all__ = [
+    "BatchResult",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterError",
+    "WIRE_SCHEMA",
+    "WireDecoder",
+    "WireEncoder",
+    "WireError",
+    "XShardMessage",
+]

@@ -1,0 +1,143 @@
+"""The cluster router: shard processes, pipes, and message routing.
+
+The :class:`Router` owns the worker processes.  It is deliberately dumb:
+shards never talk to each other directly — every ``wire/v1`` document a
+shard emits comes back to the router, which forwards it to the owning
+shard's pipe.  That keeps the transport a star (N pipes, no N² mesh), and
+it makes cross-shard traffic observable in one place, which is what the
+tests and the scale bench count.
+
+Requests fan out with :meth:`Router.call_all` — commands are written to
+*every* pipe before any reply is read, so shard kernels genuinely run
+concurrently as OS processes; the router only synchronizes at reply
+collection.  :meth:`Router.pump` then drains cross-shard traffic to a
+fixed point: outbox documents are grouped by destination, delivered, and
+any replies' outboxes go around again (a delivery can itself trigger
+sends) until the cluster is quiet.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.shard import ShardSpec, shard_main
+from repro.okws.sharding import shard_of_user
+
+__all__ = ["ClusterError", "Router", "requests_by_shard"]
+
+
+class ClusterError(RuntimeError):
+    """A shard reported an error or died mid-conversation."""
+
+
+def requests_by_shard(
+    requests: Sequence[Tuple[str, str, str, Any, Optional[Dict[str, Any]]]],
+    n_shards: int,
+) -> List[List[Tuple[str, str, str, Any, Optional[Dict[str, Any]]]]]:
+    """Partition ``(user, password, service, body, args)`` tuples by the
+    user→shard map, preserving each shard's request order."""
+    parts: List[List[Any]] = [[] for _ in range(n_shards)]
+    for request in requests:
+        parts[shard_of_user(request[0], n_shards)].append(request)
+    return parts
+
+
+class Router:
+    """Owns the shard worker processes and their pipes."""
+
+    def __init__(self, specs: Sequence[ShardSpec]) -> None:
+        self.specs = list(specs)
+        self.n_shards = len(self.specs)
+        self._context = multiprocessing.get_context("fork")
+        self._processes: List[Any] = []
+        self._pipes: List[Any] = []
+        #: shard id → board port handle, filled in by :meth:`boot`.
+        self.boards: Dict[int, int] = {}
+        #: Total wire/v1 documents routed shard-to-shard.
+        self.routed = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def boot(self) -> Dict[int, int]:
+        """Start every shard, collect board ports, broadcast the peer map."""
+        for spec in self.specs:
+            parent_end, child_end = self._context.Pipe()
+            process = self._context.Process(
+                target=shard_main,
+                args=(child_end, spec),
+                name=f"repro-shard-{spec.shard_id}",
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._pipes.append(parent_end)
+        for shard, pipe in enumerate(self._pipes):
+            status, payload = pipe.recv()
+            if status != "ready":
+                raise ClusterError(f"shard {shard} failed to boot: {payload}")
+            self.boards[shard] = payload["board_port"]
+        self.call_all([("peers", self.boards)] * self.n_shards)
+        return dict(self.boards)
+
+    def stop(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+                pipe.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            pipe.close()
+        for process in self._processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=5)
+        self._processes.clear()
+        self._pipes.clear()
+
+    # -- conversation ----------------------------------------------------
+
+    def _recv(self, shard: int) -> Any:
+        try:
+            status, payload = self._pipes[shard].recv()
+        except EOFError as err:
+            raise ClusterError(f"shard {shard} died") from err
+        if status != "ok":
+            raise ClusterError(str(payload))
+        return payload
+
+    def call(self, shard: int, command: Tuple[Any, ...]) -> Any:
+        """One synchronous command to one shard."""
+        self._pipes[shard].send(command)
+        return self._recv(shard)
+
+    def call_all(self, commands: Sequence[Tuple[Any, ...]]) -> List[Any]:
+        """One command per shard, written before any reply is read — the
+        fan-out that lets all shard kernels run concurrently."""
+        if len(commands) != self.n_shards:
+            raise ValueError(
+                f"need one command per shard ({self.n_shards}), got {len(commands)}"
+            )
+        for pipe, command in zip(self._pipes, commands):
+            pipe.send(command)
+        return [self._recv(shard) for shard in range(self.n_shards)]
+
+    # -- cross-shard traffic ---------------------------------------------
+
+    def pump(self, docs: List[Dict[str, Any]]) -> int:
+        """Route *docs* (and any traffic their delivery triggers) until the
+        cluster is quiet.  Returns the number of documents routed."""
+        total = 0
+        while docs:
+            by_dst: Dict[int, List[Dict[str, Any]]] = {}
+            for doc in docs:
+                by_dst.setdefault(doc["dst"], []).append(doc)
+            docs = []
+            for dst, batch in sorted(by_dst.items()):
+                reply = self.call(dst, ("xsend", batch))
+                total += len(batch)
+                docs.extend(reply["outbox"])
+        self.routed += total
+        return total

@@ -88,10 +88,12 @@ distinct tables.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import struct
 import weakref
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.core import labelops
 from repro.core.chunks import ChunkedLabel, OpStats
@@ -102,6 +104,7 @@ __all__ = [
     "InternTable",
     "LabelOpCache",
     "global_intern_table",
+    "label_fingerprint",
     "DEFAULT_CACHE_SIZE",
 ]
 
@@ -111,6 +114,22 @@ DEFAULT_CACHE_SIZE = 4096
 #: Process-wide id source: ids stay unique even across distinct tables,
 #: so a cache can never be confused by labels interned elsewhere.
 _ids = itertools.count()
+
+def label_fingerprint(default: int, entries: Iterable[Tuple[int, int]]) -> int:
+    """Stable 64-bit content id for a label value.
+
+    ``intern_id`` is process-local (issued from an in-process counter), so
+    it cannot name a label to another shard.  The fingerprint is derived
+    from the canonical ``(default, sorted entries)`` value instead —
+    identical on every shard regardless of intern order — and is what the
+    ``wire/v1`` codec ships when a label has already been sent to a peer.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    h.update(struct.pack("<q", default))
+    for handle, level in entries:
+        h.update(struct.pack("<Qq", handle, level))
+    return int.from_bytes(h.digest(), "little")
+
 
 #: Largest small-side operand the ⋆-factoring side conditions will walk
 #: when testing star-set disjointness; beyond this the op falls back to
@@ -141,6 +160,13 @@ class InternTable:
             weakref.WeakValueDictionary()
         )
         self._cores: "OrderedDict[int, ChunkedLabel]" = OrderedDict()
+        #: intern_id → content fingerprint (memo for :meth:`fingerprint`).
+        self._fingerprints: Dict[int, int] = {}
+        #: fingerprint → canonical label, weak like ``_canonical`` so a
+        #: shard that stops talking about a label lets it die.
+        self._by_fingerprint: "weakref.WeakValueDictionary[int, ChunkedLabel]" = (
+            weakref.WeakValueDictionary()
+        )
         #: Labels given a fresh id by this table (intern misses).
         self.interned = 0
         #: Calls that had to build a key (label not already canonical).
@@ -163,6 +189,55 @@ class InternTable:
     def intern_label(self, label: Label) -> ChunkedLabel:
         """Intern a plain :class:`~repro.core.labels.Label`."""
         return self.intern(ChunkedLabel.from_label(label))
+
+    # -- cross-process identity (wire/v1) -----------------------------------
+
+    def fingerprint(self, label: ChunkedLabel) -> int:
+        """The stable cross-process id of *label* (interning it first).
+
+        Memoized per ``intern_id``; the first call walks the entries once.
+        Fingerprinted labels become resolvable via :meth:`from_wire`, so a
+        shard can name a label to a peer by id alone once the full body
+        has been shipped.
+        """
+        label = self.intern(label)
+        fp = self._fingerprints.get(label.intern_id)
+        if fp is None:
+            fp = label_fingerprint(label.default, label.iter_entries())
+            self._fingerprints[label.intern_id] = fp
+            self._by_fingerprint[fp] = label
+        return fp
+
+    def from_wire(
+        self,
+        fingerprint: int,
+        default: Optional[int] = None,
+        entries: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> ChunkedLabel:
+        """Re-intern a label received over the wire.
+
+        With only a *fingerprint*, resolves a label this table has seen
+        before (raises ``KeyError`` otherwise — the peer must re-send the
+        body).  With a body, builds + interns the label, verifies the
+        fingerprint actually matches the content (a corrupt or forged id
+        must not poison the table), and registers it for future id-only
+        sends.
+        """
+        got = self._by_fingerprint.get(fingerprint)
+        if got is not None:
+            return got
+        if default is None or entries is None:
+            raise KeyError(f"unknown label fingerprint: {fingerprint:#x}")
+        label = self.intern(
+            ChunkedLabel.from_label(Label(dict(entries), default))
+        )
+        actual = self.fingerprint(label)
+        if actual != fingerprint:
+            raise ValueError(
+                f"label fingerprint mismatch: wire said {fingerprint:#x}, "
+                f"content hashes to {actual:#x}"
+            )
+        return label
 
     def star_core(self, label: ChunkedLabel) -> ChunkedLabel:
         """The interned ⋆-free core of an interned *label* (memoized).

@@ -49,6 +49,29 @@ _WIRE = {STAR: 4, L0: 0, L1: 1, L2: 2, L3: 3}
 _UNWIRE = {code: lvl for lvl, code in _WIRE.items()}
 
 
+def parse_level(value) -> Level:
+    """``"*"``/``"0"``…``"3"`` (or an int, ``-1`` for ⋆) → level.
+
+    The one level spelling shared by every declarative surface — topology
+    and policy JSON, CLI arguments — so it lives here with the level set
+    itself rather than in any one consumer.
+    """
+    if isinstance(value, bool):
+        raise ValueError(f"not a level: {value!r}")
+    if isinstance(value, int):
+        if value not in ALL_LEVELS:
+            raise ValueError(f"not a level: {value!r}")
+        return value
+    text = str(value).strip()
+    if text == "*":
+        return STAR
+    if text in ("0", "1", "2", "3"):
+        return int(text)
+    if text == "-1":
+        return STAR
+    raise ValueError(f"not a level: {value!r}")
+
+
 def is_level(value: object) -> bool:
     """Return True if *value* is a valid Asbestos level."""
     return isinstance(value, int) and not isinstance(value, bool) and STAR <= value <= L3

@@ -16,6 +16,7 @@ Environment variables (all optional; explicit arguments win):
 ======================== ==============================================
 ``REPRO_SANITIZE``        enable the differential label sanitizer
 ``REPRO_SANITIZE_STRICT`` raise on the first sanitizer violation
+``REPRO_SANITIZE_SAMPLE`` check every Nth IPC only (``64`` or ``1/64``)
 ``REPRO_TRACE``           keep the kernel debug log, re-raise crashes
 ``REPRO_LABEL_COST_MODE`` ``paper`` or ``fused`` cycle billing
 ``REPRO_RAM_BYTES``       cap simulated RAM (bytes)
@@ -61,6 +62,26 @@ def _env_int(env: Mapping[str, str], name: str) -> Optional[int]:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from err
 
 
+def parse_sample(raw: str) -> int:
+    """Parse a sanitizer sampling period: ``"64"`` and ``"1/64"`` both
+    mean "check one IPC in 64"; ``"1"`` (or ``"1/1"``) means every IPC."""
+    text = raw.strip()
+    if "/" in text:
+        num, _, den = text.partition("/")
+        if num.strip() != "1":
+            raise ValueError(
+                f"sanitize sample must be 1/N or N, got {raw!r}"
+            )
+        text = den.strip()
+    try:
+        period = int(text)
+    except ValueError as err:
+        raise ValueError(f"sanitize sample must be 1/N or N, got {raw!r}") from err
+    if period <= 0:
+        raise ValueError(f"sanitize sample must be positive, got {raw!r}")
+    return period
+
+
 @dataclass(frozen=True)
 class KernelConfig:
     """Immutable run-mode options for one :class:`~repro.kernel.Kernel`.
@@ -69,7 +90,9 @@ class KernelConfig:
 
     - simulation shape: ``ram_bytes``, ``boot_key``;
     - diagnostics: ``trace`` (debug log + re-raise crashed bodies),
-      ``sanitize``/``sanitize_strict`` (the differential label sanitizer);
+      ``sanitize``/``sanitize_strict`` (the differential label sanitizer)
+      and ``sanitize_sample`` (check only every Nth IPC — the sampled
+      per-shard safety net ``repro.cluster`` runs with, ``1`` = every IPC);
     - cycle billing: ``label_cost_mode`` — ``"paper"`` bills label work as
       the 2005 implementation would pay it (reproduces Figure 9),
       ``"fused"`` bills the sparsity-aware operations actually executed;
@@ -95,6 +118,7 @@ class KernelConfig:
     label_cost_mode: str = "paper"
     sanitize: bool = False
     sanitize_strict: bool = True
+    sanitize_sample: int = 1
     metrics: bool = False
     spans: bool = False
     span_limit: int = 250_000
@@ -111,6 +135,10 @@ class KernelConfig:
             )
         if self.ram_bytes is not None and self.ram_bytes <= 0:
             raise ValueError(f"ram_bytes must be positive, got {self.ram_bytes}")
+        if self.sanitize_sample <= 0:
+            raise ValueError(
+                f"sanitize_sample must be positive, got {self.sanitize_sample}"
+            )
         if self.span_limit <= 0:
             raise ValueError(f"span_limit must be positive, got {self.span_limit}")
         if self.labelop_cache_size <= 0:
@@ -139,6 +167,9 @@ class KernelConfig:
         strict = _env_bool(env, "REPRO_SANITIZE_STRICT")
         if strict is not None:
             values["sanitize_strict"] = strict
+        sample = env.get("REPRO_SANITIZE_SAMPLE", "").strip()
+        if sample:
+            values["sanitize_sample"] = parse_sample(sample)
         trace = _env_bool(env, "REPRO_TRACE")
         if trace is not None:
             values["trace"] = trace

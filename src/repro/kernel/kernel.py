@@ -63,7 +63,7 @@ from repro.kernel.memory import (
     PageAccountant,
 )
 from repro.kernel.message import Message, QueuedMessage
-from repro.kernel.ports import Port
+from repro.kernel.ports import Port, RemoteRoute
 from repro.kernel.process import (
     Context,
     Process,
@@ -227,6 +227,8 @@ class Kernel:
         self._m_injected = ipc.counter("injected")
         self._m_enqueued = ipc.counter("enqueued")
         self._m_delivered = ipc.counter("delivered")
+        self._m_xshard_out = ipc.counter("xshard_out")
+        self._m_xshard_in = ipc.counter("xshard_in")
         self._m_drops = {
             reason: ipc.counter(f"drops.{reason}")
             for reason in (
@@ -279,6 +281,24 @@ class Kernel:
             from repro.analysis.sanitizer import LabelSanitizer
 
             self.sanitizer = LabelSanitizer(self, strict=config.sanitize_strict)
+        #: Sampled sanitizing (repro.cluster's per-shard safety net): with
+        #: sanitize_sample = N, only every Nth sanitizer opportunity —
+        #: counted across send checks and deliveries — actually runs the
+        #: differential re-derivation.  N = 1 (the default) checks every
+        #: IPC, exactly the pre-sampling behavior.  Deterministic: the
+        #: sampled subset is a pure function of the IPC sequence.
+        self._sanitize_period = config.sanitize_sample
+        self._sanitize_tick = 0
+
+        # -- cross-shard routing (repro.cluster) -----------------------------
+        #: Handles that live on another shard: handle → RemoteRoute.  Only
+        #: the cluster runtime populates this; a standalone kernel never
+        #: pays more than one falsy check on the send path.
+        self.remote_routes: Dict[Handle, RemoteRoute] = {}
+        #: Egress hook set by the shard runtime: called with
+        #: (route, message-kwargs) for each send whose port resolves to a
+        #: RemoteRoute; the runtime serializes it as wire/v1 and ships it.
+        self.xshard_out: Optional[Callable[[RemoteRoute, Dict[str, Any]], None]] = None
 
         # -- kernel timers (Recv timeout / Deadline) ------------------------
         # Min-heap of (deadline_cycles, serial, task_key, token).  The token
@@ -379,6 +399,39 @@ class Kernel:
             v=_TOP,
             dr=_BOTTOM,
             sender_name="<wire>",
+        )
+
+    def enqueue_external(
+        self,
+        port: Handle,
+        payload: Any,
+        *,
+        effective_send: ChunkedLabel,
+        ds: ChunkedLabel,
+        v: ChunkedLabel,
+        dr: ChunkedLabel,
+        sender_name: str = "<xshard>",
+    ) -> bool:
+        """Enqueue a message whose send-time checks ran on another shard.
+
+        The cross-shard ingress half of ``repro.cluster``: the sending
+        shard already enforced Figure 4 requirements (2) and (3) and
+        computed ``ES = PS ⊔ CS``; this kernel re-interns the decoded
+        labels and runs the delivery-time checks (1) and (4) plus the
+        label effects locally, exactly as for a local send.  Unlike
+        :meth:`inject`, the caller supplies real labels — cross-shard
+        taint and decontamination propagate.
+        """
+        if self._obs:
+            self._m_xshard_in.inc()
+        return self._enqueue(
+            port=port,
+            payload=payload,
+            effective_send=self._intern(effective_send),
+            ds=self._intern(ds),
+            v=self._intern(v),
+            dr=self._intern(dr),
+            sender_name=sender_name,
         )
 
     # -- the run loop ----------------------------------------------------------------
@@ -685,6 +738,20 @@ class Kernel:
             else:
                 self.spans.instant("drop", sender, self.clock.now, reason=reason)
 
+    def _sanitize_due(self) -> bool:
+        """True when this sanitizer opportunity falls on the sample.
+
+        Only consulted when a sanitizer exists; with ``sanitize_sample=1``
+        every opportunity is due (the pre-sampling behavior).
+        """
+        if self._sanitize_period == 1:
+            return True
+        self._sanitize_tick += 1
+        if self._sanitize_tick >= self._sanitize_period:
+            self._sanitize_tick = 0
+            return True
+        return False
+
     def _sys_send(self, task: Task, request: sc.Send) -> bool:
         cost = self.clock.cost
         self.clock.charge(KERNEL_IPC, cost.send_base)
@@ -720,7 +787,7 @@ class Kernel:
             if self.label_cost_mode == "paper":
                 modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
             es = labelops.raise_receive(ps, cs, stats)
-        if self.sanitizer is not None:
+        if self.sanitizer is not None and self._sanitize_due():
             self.sanitizer.check_effective_send(task.name, request.port, ps, cs, es)
 
         ok = True
@@ -809,6 +876,36 @@ class Kernel:
                 return True
         entry = self.ports.get(port)
         if entry is None or not entry.alive:
+            if entry is None and self.remote_routes:
+                route = self.remote_routes.get(port)
+                if route is not None and self.xshard_out is not None:
+                    if transfer:
+                        # Receive rights cannot cross a shard boundary —
+                        # wire/v1 has no port-migration protocol — so the
+                        # message drops and the in-transit rights die,
+                        # exactly like a send to a dead port.
+                        self._drop(DROP_DEAD_PORT, sender_name, f"{port:#x}")
+                        self._kill_transferred(transfer)
+                        return True
+                    # Send-time checks (requirements 2 and 3) already
+                    # passed above; ship (message, labels, effects) to the
+                    # owning shard, where delivery-time checks and effects
+                    # run against its own interned labels.
+                    self.xshard_out(
+                        route,
+                        dict(
+                            port=port,
+                            payload=payload,
+                            effective_send=effective_send,
+                            ds=ds,
+                            v=v,
+                            dr=dr,
+                            sender_name=sender_name,
+                        ),
+                    )
+                    if self._obs:
+                        self._m_xshard_out.inc()
+                    return True
             self._drop(DROP_DEAD_PORT, sender_name, f"{port:#x}")
             self._kill_transferred(transfer)
             return True
@@ -891,7 +988,7 @@ class Kernel:
     def _try_deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
         """Run the delivery-time checks against *task*; apply effects and
         return True, or record the drop and return False."""
-        if self.sanitizer is None:
+        if self.sanitizer is None or not self._sanitize_due():
             delivered = self._deliver(task, entry, qmsg)
         else:
             snapshot = self.sanitizer.before_deliver(task, entry, qmsg)

@@ -30,6 +30,24 @@ PORT_STRUCT_BYTES = 48
 DEFAULT_QUEUE_LIMIT = 1024
 
 
+@dataclass(frozen=True)
+class RemoteRoute:
+    """A port that lives on another shard (``repro.cluster``).
+
+    The owning kernel has no :class:`Port` for the handle; instead
+    ``Kernel.remote_routes`` maps it to one of these, and ``_enqueue``
+    hands the already-checked message to the kernel's ``xshard_out`` hook
+    for ``wire/v1`` serialization instead of recording a dead-port drop.
+    Delivery-time checks (Figure 4 requirements 1 and 4) and effects run
+    on the destination shard, against its own interned labels.
+    """
+
+    #: Destination shard index.
+    shard: int
+    #: Human-readable port name for traces and drop accounting.
+    name: str = ""
+
+
 @dataclass
 class Port:
     """Kernel port state."""

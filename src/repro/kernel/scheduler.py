@@ -12,6 +12,13 @@ one queue entry when a message arrives, which is the "kernel scheduling
 cost is little higher than that of a single process" property of
 Section 6.2.
 
+Sharding (``repro.cluster``) does not change any of this: a cluster is N
+independent kernels, each with its own scheduler.  Cross-shard ingress
+(``Kernel.enqueue_external``) wakes the receiving port's owner through
+the ordinary enqueue path, so a shard's schedule stays a deterministic
+function of its own inputs — the property the cross-shard differential
+suite leans on.
+
 The run queue uses lazy deletion: ``remove`` only clears the membership
 set (O(1)), leaving a stale key in the deque that ``dequeue`` skips when
 it surfaces.  Every scheduler operation is therefore O(runnable) — a base

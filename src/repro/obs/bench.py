@@ -8,6 +8,10 @@ document per figure at the repository root (or ``--out``):
     BENCH_fig8.json       latency at concurrency 4              (Figure 8)
     BENCH_fig9.json       component Kcycles/connection          (Figure 9)
     BENCH_labelops.json   paper-mode vs fused label-op ablation  (§5.6/9.3)
+    BENCH_scale.json      sharded-cluster scaling (``--scale``)  (DESIGN.md §13)
+
+The scale figure is not part of the default run (it forks shard worker
+processes); ``python -m repro bench --scale`` selects it.
 
 Every document follows the ``repro-bench/v1`` schema (see
 :data:`SCHEMA` and DESIGN.md §8): paper value, measured value and their
@@ -34,8 +38,12 @@ from repro.obs.metrics import kernel_snapshot
 #: Schema identifier stamped into (and required of) every document.
 SCHEMA = "repro-bench/v1"
 
-#: The figures this harness regenerates, in run order.
-FIGURES = ("fig6", "fig7", "fig8", "fig9", "labelops")
+#: Every figure this harness knows how to regenerate.
+FIGURES = ("fig6", "fig7", "fig8", "fig9", "labelops", "scale")
+
+#: The default ``run_bench`` selection: the paper figures.  ``scale``
+#: (the multi-process cluster bench) runs only when asked for.
+DEFAULT_FIGURES = ("fig6", "fig7", "fig8", "fig9", "labelops")
 
 #: Keys every document must carry; see :func:`validate`.
 REQUIRED_KEYS = ("schema", "figure", "title", "quick", "series", "comparisons")
@@ -258,6 +266,27 @@ def _interning_speedup(sessions: int) -> Dict[str, Any]:
     return out
 
 
+def _cluster_single_shard_point(sessions: int) -> float:
+    """Throughput through the ``repro.cluster`` facade at ``n_shards=1``.
+
+    The single-shard cluster drives the ordinary in-process kernel with
+    the unmodified boot key, so this series pins the facade's identity
+    path under the same one-sided guard as the direct-kernel series: a
+    change that makes ``Cluster(n_shards=1)`` anything but a thin pass-
+    through shows up as a throughput regression here.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.kernel.clock import CPU_HZ
+
+    users = tuple((f"u{i}", f"pw{i}") for i in range(sessions))
+    requests = [
+        (f"u{i}", f"pw{i}", "echo", None, {"length": 11}) for i in range(sessions)
+    ] * 2
+    with Cluster(ClusterConfig(n_shards=1, users=users)) as cluster:
+        result = cluster.run_batch(requests)
+    return len(requests) / (result.elapsed_cycles / CPU_HZ)
+
+
 def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
     """Figure 7: throughput vs cached sessions, plus the observability
     overhead measurement (disabled vs enabled wall time on point one)
@@ -297,6 +326,11 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
     # fails CI; the full grid demonstrates the paper-scale win (≥ 1.15x
     # at 3000 cached sessions).
     speed = _interning_speedup(grid[-1])
+
+    # The repro.cluster identity path (DESIGN.md §13), guarded like any
+    # other series: n_shards=1 must stay a thin facade over this kernel.
+    cluster_sessions = grid[1] if len(grid) > 1 else grid[0]
+    cluster_conn_s = _cluster_single_shard_point(cluster_sessions)
     return _document(
         "fig7",
         "Throughput for various numbers of cached sessions",
@@ -307,6 +341,9 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
             ),
             "interning_speedup": _series(
                 [speed["sessions"]], [speed["speedup"]], "x"
+            ),
+            "cluster_single_shard": _series(
+                [cluster_sessions], [cluster_conn_s], "conn/s"
             ),
         },
         [
@@ -334,6 +371,12 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
                 speed["speedup"],
                 "x",
             ),
+            comparison(
+                f"cluster facade (1 shard) at {cluster_sessions} sessions",
+                "n/a (guarded series)",
+                cluster_conn_s,
+                "conn/s",
+            ),
         ],
         snapshot,
         {
@@ -341,6 +384,7 @@ def run_fig7(quick: bool, sweep=None) -> Dict[str, Any]:
             "apache_conn_s": round(apache.throughput, 1),
             "mod_apache_conn_s": round(mod_apache.throughput, 1),
             "interning": speed,
+            "cluster_single_shard_sessions": cluster_sessions,
         },
     )
 
@@ -390,6 +434,18 @@ def run_fig8(quick: bool) -> Dict[str, Any]:
             "us",
         )
     )
+    # Sharding the same operating point across two kernels (DESIGN.md
+    # §13): each shard sees half the users, so per-connection label scans
+    # shrink and median latency should drop below the single-kernel row.
+    sharded_lats = _sharded_latencies(big, n_requests=min(n, 200), concurrency=4)
+    comparisons.append(
+        comparison(
+            f"median latency: OKWS, {big} sessions (2 shards)",
+            "n/a (sharded)",
+            percentile(sharded_lats, 50),
+            "us",
+        )
+    )
     return _document(
         "fig8",
         "Request latency at a concurrency of four",
@@ -404,6 +460,24 @@ def run_fig8(quick: bool) -> Dict[str, Any]:
         _instrumented_echo_snapshot(20 if quick else 100),
         {"n_requests": n, "big_sessions": big, "series_x_axis": "percentile"},
     )
+
+
+def _sharded_latencies(
+    sessions: int, n_requests: int, concurrency: int = 4
+) -> List[float]:
+    """Per-request latency (µs) for the fig8 workload on a 2-shard cluster."""
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.kernel.clock import CPU_HZ
+
+    users = tuple((f"u{i}", f"pw{i}") for i in range(max(sessions, 1)))
+    requests = [
+        (f"u{i % max(sessions, 1)}", f"pw{i % max(sessions, 1)}", "echo", None, None)
+        for i in range(n_requests)
+    ]
+    config = ClusterConfig(n_shards=2, users=users, concurrency=concurrency)
+    with Cluster(config) as cluster:
+        result = cluster.run_batch(requests)
+    return [cycles / CPU_HZ * 1e6 for cycles in result.latencies_cycles]
 
 
 def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
@@ -532,6 +606,137 @@ def run_labelops(quick: bool) -> Dict[str, Any]:
     )
 
 
+def _scale_point(
+    n_shards: int, n_users: int, n_conns: int, concurrency: int
+) -> Dict[str, Any]:
+    """One cell of the scale grid: a full cluster run at *n_shards*.
+
+    Sanitizer sampled at 1/64 (the production-shaped setting the sharded
+    deployment runs with) and the interned-label fast path on — the
+    configuration DESIGN.md §13 describes.  Cluster throughput is total
+    connections over the *slowest* shard's simulated busy time: shards
+    run on independent simulated CPUs, so host scheduling of the worker
+    processes cannot perturb the measurement.
+    """
+    from repro.cluster import Cluster, ClusterConfig
+    from repro.kernel.clock import CPU_HZ
+    from repro.sim.stats import percentile
+
+    users = tuple((f"u{i}", f"pw{i}") for i in range(n_users))
+    requests = [
+        (f"u{i % n_users}", f"pw{i % n_users}", "echo", None, {"length": 11})
+        for i in range(n_conns)
+    ]
+    config = ClusterConfig(
+        n_shards=n_shards,
+        users=users,
+        kernel=KernelConfig(sanitize=True, intern_labels=True),
+        sanitize_sample=64,
+        concurrency=concurrency,
+    )
+    with Cluster(config) as cluster:
+        cluster.mark()
+        result = cluster.run_batch(requests)
+        routed = cluster.run_courier()
+        report = cluster.report()
+    latencies = [cycles / CPU_HZ * 1e6 for cycles in result.latencies_cycles]
+    return {
+        "shards": n_shards,
+        "throughput": n_conns / (result.elapsed_cycles / CPU_HZ),
+        "p50_us": percentile(latencies, 50),
+        "p99_us": percentile(latencies, 99),
+        "busy_cycles": list(result.busy_cycles),
+        "elapsed_cycles": result.elapsed_cycles,
+        "routed": routed + result.routed,
+        "board_messages": len(report["board_log"]),
+        "drops": report["drops"],
+        "sanitizer_violations": report["sanitizer_violations"],
+    }
+
+
+def run_scale(quick: bool) -> Dict[str, Any]:
+    """The ``--scale`` figure: sharded-cluster throughput and latency.
+
+    Runs the same OKWS echo workload (every connection routed to the
+    shard owning its user) at each shard count and reports throughput,
+    latency percentiles, and speedup over the single-shard baseline.
+    The speedup can exceed the shard count: per-connection label work
+    scans O(users-per-kernel) entries, so halving a shard's user
+    partition more than halves its per-connection cost.
+
+    Cross-shard correctness rides along: every run includes the courier
+    phase (real labels over ``wire/v1``, Figure 4 checks re-run on the
+    receiving shard), and the document asserts the sampled sanitizer saw
+    zero violations and that board deliveries and label-check drops are
+    invariant in the shard count.
+    """
+    shard_grid = [1, 2] if quick else [1, 2, 4]
+    n_users = 64 if quick else 500
+    n_conns = 400 if quick else 10_000
+    rows = [_scale_point(s, n_users, n_conns, concurrency=16) for s in shard_grid]
+    base = rows[0]
+    speedups = [row["throughput"] / base["throughput"] for row in rows]
+    comparisons = [
+        comparison(
+            "cluster speedup at 2 shards (target 1.6x)", 1.6, speedups[1], "x"
+        )
+    ]
+    if len(rows) > 2:
+        comparisons.append(
+            comparison(
+                "cluster speedup at 4 shards (target 2.5x)", 2.5, speedups[2], "x"
+            )
+        )
+    violations = sum(row["sanitizer_violations"] or 0 for row in rows)
+    comparisons += [
+        comparison("sampled sanitizer violations (1/64)", 0, violations, "count"),
+        comparison(
+            "cross-shard wire messages routed (max shards)",
+            "n/a (>0 expected)",
+            rows[-1]["routed"],
+            "count",
+        ),
+        comparison(
+            "board deliveries invariant in shard count",
+            True,
+            len({row["board_messages"] for row in rows}) == 1,
+            "",
+        ),
+        comparison(
+            "label-check drops invariant in shard count",
+            True,
+            len({row["drops"].get("label-check", 0) for row in rows}) == 1,
+            "",
+        ),
+    ]
+    return _document(
+        "scale",
+        "Sharded-cluster throughput scaling (repro.cluster)",
+        quick,
+        {
+            "throughput": _series(
+                shard_grid, [row["throughput"] for row in rows], "conn/s"
+            ),
+            "speedup": _series(shard_grid, speedups, "x"),
+            "p50_latency": _series(
+                shard_grid, [row["p50_us"] for row in rows], "us"
+            ),
+            "p99_latency": _series(
+                shard_grid, [row["p99_us"] for row in rows], "us"
+            ),
+        },
+        comparisons,
+        None,
+        {
+            "n_users": n_users,
+            "n_conns": n_conns,
+            "concurrency": 16,
+            "sanitize_sample": 64,
+            "rows": rows,
+        },
+    )
+
+
 # -- the runner ---------------------------------------------------------------------
 
 _RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
@@ -540,6 +745,7 @@ _RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "labelops": run_labelops,
+    "scale": run_scale,
 }
 
 
@@ -554,12 +760,13 @@ def run_bench(
     Returns the list of paths written.  Raises ValueError if any produced
     document fails its own schema validation (a bug, not an input error).
     """
-    selected = list(only) if only else list(FIGURES)
+    selected = list(only) if only else list(DEFAULT_FIGURES)
     for figure in selected:
         if figure not in _RUNNERS:
             raise ValueError(
                 f"unknown figure {figure!r}; choose from {', '.join(FIGURES)}"
             )
+    os.makedirs(out_dir, exist_ok=True)
     # Figures 7 and 9 share the expensive session sweep.
     sweep = None
     if "fig7" in selected or "fig9" in selected:

@@ -34,9 +34,7 @@ from dataclasses import dataclass
 from fnmatch import fnmatchcase
 from typing import Any, Dict, Iterable, List, Mapping, Sequence, Tuple, Union
 
-from repro.core.levels import L2, Level, level_name
-
-from repro.analysis.model import Topology, parse_level
+from repro.core.levels import L2, Level, level_name, parse_level
 
 
 def matches(pattern: str, name: str) -> bool:
@@ -186,10 +184,16 @@ def policy_to_json(policy: Policy) -> Dict[str, Any]:
     raise TypeError(f"not a policy: {policy!r}")
 
 
-def watched_handles(policies: Sequence[Policy], topology: Topology) -> List[int]:
+def watched_handles(policies: Sequence[Policy], topology: Any) -> List[int]:
     """The concrete handles any policy constrains.  The explorer's
     eager-closure reduction may collapse label changes only at handles
-    *outside* this set (see ``repro.analysis.check``)."""
+    *outside* this set (see ``repro.analysis.check``).
+
+    *topology* is duck-typed: anything with a ``handles`` name→handle
+    mapping works.  (Depending on the concrete
+    :class:`repro.analysis.model.Topology` here would make the policy
+    layer import the analysis layer — the import cycle PR 6 papered over
+    with a lazy re-export hack.)"""
     out = set()
     for policy in policies:
         name = getattr(policy, "handle", None)

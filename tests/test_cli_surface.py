@@ -1,0 +1,128 @@
+"""The unified CLI surface: shared options, exit codes, legacy aliases."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+
+SUBCOMMANDS = ("tour", "analyze", "check", "explore", "run", "chaos", "bench")
+
+
+@pytest.mark.parametrize("command", SUBCOMMANDS)
+def test_every_subcommand_accepts_the_common_options(command):
+    parser = build_parser()
+    extra = ["--plan", "p.json"] if command == "chaos" else []
+    args = parser.parse_args(
+        [command, *extra, "--format", "json", "--out", "somewhere", "--seed", "7"]
+    )
+    assert args.format == "json"
+    assert args.out == "somewhere"
+    assert args.seed == 7
+
+
+def test_out_default_is_none_everywhere():
+    # parents=[common] shares action objects between subparsers: a
+    # subparser-level set_defaults would leak its default into every
+    # command (bench's "." would become analyze's output file).
+    parser = build_parser()
+    for command in ("analyze", "bench", "explore"):
+        assert parser.parse_args([command]).out is None
+
+
+@pytest.mark.parametrize("command", ["run", "chaos", "bench"])
+def test_sarif_is_a_usage_error_outside_the_analysis_commands(command):
+    extra = ["--plan", "nonexistent.json"] if command == "chaos" else []
+    assert main([command, *extra, "--format", "sarif"]) == 2
+
+
+def test_legacy_json_flags_still_parse():
+    parser = build_parser()
+    for command in ("analyze", "check", "explore"):
+        assert parser.parse_args([command, "--json"]).json is True
+    # chaos --json FILE was "write the chaos-report here": now an alias
+    # for --out.
+    assert parser.parse_args(["chaos", "--plan", "p", "--json", "report.json"]).out == (
+        "report.json"
+    )
+
+
+def test_analyze_writes_report_to_out(tmp_path):
+    target = tmp_path / "findings.json"
+    code = main(
+        [
+            "analyze",
+            "src/repro/okws/sharding.py",
+            "--format",
+            "json",
+            "--out",
+            str(target),
+        ]
+    )
+    assert code in (0, 1)  # report emitted either way
+    doc = json.loads(target.read_text())
+    assert "rules" in doc
+
+
+def test_bench_scale_selects_the_scale_figure(monkeypatch, tmp_path):
+    calls = {}
+
+    def fake_run_bench(out_dir=".", quick=False, only=None, echo=print):
+        calls["only"] = only
+        calls["out_dir"] = out_dir
+        return []
+
+    from repro.obs import bench
+
+    monkeypatch.setattr(bench, "run_bench", fake_run_bench)
+    assert main(["bench", "--scale", "--quick", "--out", str(tmp_path)]) == 0
+    assert calls["only"] == ["scale"]
+    assert calls["out_dir"] == str(tmp_path)
+    assert main(["bench", "--scale", "--only", "fig7"]) == 0
+    assert calls["only"] == ["fig7", "scale"]
+    assert calls["out_dir"] == "."
+
+
+def test_bench_unknown_figure_is_a_usage_error():
+    assert main(["bench", "--only", "fig99"]) == 2
+
+
+def test_bench_validate_exit_codes(tmp_path):
+    good = tmp_path / "BENCH_ok.json"
+    good.write_text(json.dumps(json.load(open("BENCH_fig6.json"))))
+    assert main(["bench", "--validate", str(good)]) == 0
+    bad = tmp_path / "BENCH_bad.json"
+    bad.write_text("{}")
+    assert main(["bench", "--validate", str(bad)]) == 1
+
+
+def test_chaos_seed_feeds_the_single_campaign(monkeypatch):
+    seen = {}
+
+    def fake_run_campaign(plan, seed, **kwargs):
+        seen["seed"] = seed
+
+        class R:
+            passed = True
+            checks = {}
+
+            def summary_lines(self):
+                return []
+
+            def to_json(self):
+                return {}
+
+        return R()
+
+    import repro.faults.campaign as campaign
+    import repro.faults.plan as plan_mod
+
+    monkeypatch.setattr(campaign, "run_campaign", fake_run_campaign)
+    monkeypatch.setattr(plan_mod, "load_plan", lambda path: object())
+    assert (
+        main(["chaos", "--plan", "whatever.json", "--seed", "99", "--repeat", "1"])
+        == 0
+    )
+    assert seen["seed"] == 99

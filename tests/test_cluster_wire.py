@@ -1,0 +1,200 @@
+"""wire/v1 codec properties: round-trip, id-only resends, tamper rejection.
+
+The cross-shard wire is the one place labels leave a kernel's process,
+so the codec gets property-level coverage: any label (⋆-bearing ones
+included — ``⋆`` has its own wire encoding) must survive
+encode → decode onto a *different* intern table with its content
+fingerprint intact, and a receiver must reject anything it cannot
+verify rather than guess.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster.wire import (
+    WIRE_SCHEMA,
+    WireDecoder,
+    WireEncoder,
+    WireError,
+)
+from repro.core.chunks import ChunkedLabel
+from repro.core.interning import InternTable, label_fingerprint
+from repro.core.labels import Label
+from repro.core.levels import ALL_LEVELS, STAR
+from repro.kernel.config import KernelConfig
+
+# ⋆ sampled at triple weight: star-bearing labels are the interesting
+# case (decontamination rights crossing the wire).
+star_biased = st.sampled_from(ALL_LEVELS + (STAR, STAR))
+labels = st.builds(
+    Label,
+    st.dictionaries(st.integers(min_value=0, max_value=80), star_biased, max_size=25),
+    star_biased,
+)
+
+payloads = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.text(max_size=20),
+        st.binary(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _codec_pair():
+    """A sender/receiver pair with independent intern tables — the
+    cross-process situation the codec exists for."""
+    sender, receiver = InternTable(), InternTable()
+    return WireEncoder(sender, src=0), WireDecoder(receiver)
+
+
+def _chunked(label: Label) -> ChunkedLabel:
+    return ChunkedLabel.from_label(label)
+
+
+@given(es=labels, ds=labels, v=labels, dr=labels, payload=payloads)
+def test_roundtrip_preserves_labels_and_payload(es, ds, v, dr, payload):
+    encoder, decoder = _codec_pair()
+    doc = encoder.encode(
+        dst=1,
+        port=4242,
+        payload=payload,
+        es=_chunked(es),
+        ds=_chunked(ds),
+        v=_chunked(v),
+        dr=_chunked(dr),
+        sender="prop",
+    )
+    message = decoder.decode(doc)
+    assert message.port == 4242
+    assert message.payload == payload
+    for original, decoded in (
+        (es, message.es),
+        (ds, message.ds),
+        (v, message.v),
+        (dr, message.dr),
+    ):
+        reference = _chunked(original)
+        assert decoded.default == reference.default
+        assert dict(decoded.iter_entries()) == dict(reference.iter_entries())
+        # Content fingerprints agree across the two tables — the id the
+        # next (id-only) send of this label will use.
+        assert decoder.table.fingerprint(decoded) == encoder.table.fingerprint(
+            reference
+        )
+
+
+@given(label=labels)
+def test_second_send_is_id_only_and_resolves(label):
+    encoder, decoder = _codec_pair()
+    chunked = _chunked(label)
+    kwargs = dict(es=chunked, ds=chunked, v=chunked, dr=chunked)
+    first = encoder.encode(dst=1, port=1, payload=None, **kwargs)
+    second = encoder.encode(dst=1, port=1, payload=None, **kwargs)
+    assert "entries" in first["labels"]["es"]
+    assert set(second["labels"]["es"]) == {"fp"}  # id-only
+    decoder.decode(first)
+    message = decoder.decode(second)
+    assert message.es.default == chunked.default
+    assert dict(message.es.iter_entries()) == dict(chunked.iter_entries())
+    # A different destination has seen nothing: full body again.
+    other_dst = encoder.encode(dst=2, port=1, payload=None, **kwargs)
+    assert "entries" in other_dst["labels"]["es"]
+
+
+def _one_doc(label=None):
+    encoder, _ = _codec_pair()
+    chunked = _chunked(label if label is not None else Label({7: 3}, 1))
+    return encoder.encode(
+        dst=1, port=9, payload={"k": b"v"}, es=chunked, ds=chunked, v=chunked,
+        dr=chunked,
+    )
+
+
+def test_unknown_id_only_reference_is_rejected():
+    _, decoder = _codec_pair()
+    doc = _one_doc()
+    doc["labels"]["es"] = {"fp": doc["labels"]["es"]["fp"]}  # strip the body
+    with pytest.raises(WireError, match="never-shipped"):
+        decoder.decode(doc)
+
+
+def test_tampered_body_is_rejected():
+    _, decoder = _codec_pair()
+    doc = _one_doc()
+    doc["labels"]["es"]["entries"] = [[7, 1]]  # body no longer matches fp
+    with pytest.raises(WireError):
+        decoder.decode(doc)
+
+
+def test_unknown_schema_and_malformed_documents_are_rejected():
+    _, decoder = _codec_pair()
+    with pytest.raises(WireError, match=WIRE_SCHEMA):
+        decoder.decode({"schema": "wire/v2"})
+    doc = _one_doc()
+    del doc["labels"]
+    with pytest.raises(WireError):
+        decoder.decode(doc)
+    doc = _one_doc()
+    doc["labels"]["ds"] = "not-a-label"
+    with pytest.raises(WireError):
+        decoder.decode(doc)
+
+
+def test_malformed_level_code_is_rejected():
+    _, decoder = _codec_pair()
+    doc = _one_doc()
+    doc["labels"]["es"]["entries"] = [[7, 99]]  # no such wire level
+    with pytest.raises(WireError, match="malformed"):
+        decoder.decode(doc)
+
+
+# -- the fingerprint layer (repro.core.interning) ----------------------------
+
+
+def test_label_fingerprint_is_content_stable():
+    entries = ((7, 3), (9, STAR))
+    assert label_fingerprint(1, entries) == label_fingerprint(1, entries)
+    assert label_fingerprint(1, entries) != label_fingerprint(2, entries)
+    assert label_fingerprint(1, entries) != label_fingerprint(1, ((7, 3),))
+    # Order-sensitive by design: tables always hash canonical chunk order.
+    assert label_fingerprint(1, ((7, 3), (9, 1))) != label_fingerprint(
+        1, ((9, 1), (7, 3))
+    )
+
+
+def test_from_wire_returns_the_canonical_instance():
+    table = InternTable()
+    label = table.intern(_chunked(Label({7: 3}, 1)))
+    fp = table.fingerprint(label)
+    assert table.from_wire(fp) is label
+    rebuilt = table.from_wire(fp, label.default, tuple(label.iter_entries()))
+    assert rebuilt is label
+    with pytest.raises(KeyError):
+        table.from_wire(fp ^ 1)
+
+
+def test_interning_survives_sanitize_sample_config():
+    # parse/validation of the sampling knob lives next to the codec's
+    # users; pin the contract here.
+    from repro.kernel.config import parse_sample
+
+    assert parse_sample("64") == 64
+    assert parse_sample("1/64") == 64
+    assert parse_sample(" 1 / 8 ") == 8
+    assert parse_sample("1") == 1
+    for bad in ("0", "-3", "2/64", "x", "1/0"):
+        with pytest.raises(ValueError):
+            parse_sample(bad)
+    with pytest.raises(ValueError):
+        KernelConfig(sanitize_sample=0)
+    assert KernelConfig.from_env({"REPRO_SANITIZE_SAMPLE": "1/64"}).sanitize_sample == 64
