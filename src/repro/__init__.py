@@ -20,6 +20,11 @@ Quick tour of the public surface:
 - :mod:`repro.faults` — deterministic fault injection: declarative
   :class:`~repro.faults.FaultPlan` documents, the seeded injector, and
   the ``python -m repro chaos`` campaign runner.
+- :mod:`repro.store` — durable storage for ok-dbproxy: a labeled
+  ``wal/v1`` write-ahead log whose recovery label-checks every
+  resurrected row, and the ``python -m repro crashcheck``
+  crash-consistency checker that proves it at every crash point
+  (DESIGN.md §14).
 - :mod:`repro.cluster` — the sharded multi-core kernel:
   :class:`~repro.cluster.Cluster` runs N kernels as parallel OS
   processes behind one facade, exchanging ``wire/v1`` messages with
@@ -36,7 +41,7 @@ from repro.core import Label, STAR, L0, L1, L2, L3, Handle, HandleAllocator
 from repro.kernel import Kernel, KernelConfig
 from repro.obs import MetricsRegistry, SpanRecorder, kernel_snapshot
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # label algebra
@@ -77,6 +82,10 @@ __all__ = [
     "InternTable",
     "LabelOpCache",
     "global_intern_table",
+    # the labeled durable store (repro.store, DESIGN.md §14)
+    "LabeledStore",
+    "RecoveryReport",
+    "replay_image",
     "__version__",
 ]
 
@@ -102,6 +111,9 @@ _LAZY = {
     "run_campaign": ("repro.faults", "run_campaign"),
     "Cluster": ("repro.cluster", "Cluster"),
     "ClusterConfig": ("repro.cluster", "ClusterConfig"),
+    "LabeledStore": ("repro.store", "LabeledStore"),
+    "RecoveryReport": ("repro.store", "RecoveryReport"),
+    "replay_image": ("repro.store", "replay_image"),
 }
 
 

@@ -10,6 +10,8 @@ Subcommands::
                             [--depth N] [--shrink/--no-shrink] [--plan FILE]
     python -m repro run [--sanitize] [--strict/--no-strict] [--trace]
     python -m repro chaos --plan FILE [--seeds N,N...]
+    python -m repro crashcheck [--broken-recovery] [--plan-out FILE]
+                               [--replay PLAN] [--wal FILE] [--dir DIR]
     python -m repro bench [--quick] [--only FIGS] [--scale] [--guard BASELINE...]
     python -m repro bench --validate <BENCH_*.json...>
 
@@ -17,7 +19,8 @@ Every subcommand shares one option surface (a common argparse parent):
 
 - ``--format text|json|sarif`` — report format.  ``sarif`` (GitHub
   code-scanning 2.1.0) is supported by the analysis commands
-  (``analyze``/``check``/``explore``); elsewhere it is a usage error.
+  (``analyze``/``check``/``explore``/``crashcheck``); elsewhere it is a
+  usage error.
 - ``--out PATH`` — where output artifacts land: the report file for
   ``analyze``/``check``/``run``, the chaos-report/v1 document for
   ``chaos``, the output *directory* for ``bench`` (default ``.``) and
@@ -45,7 +48,12 @@ byte-identically replayable counterexample (``--out`` writes the
 schedule/v1 + faultplan/v1 pair; ``--replay`` re-executes one).
 ``run`` drives the OKWS demo workload on a live kernel; with
 ``--sanitize`` every IPC is differentially checked against the naive
-label operators.  ``bench`` regenerates the paper's figures headlessly
+label operators.  ``crashcheck`` records a write workload into the
+``wal/v1`` store, enumerates every crash point (record boundaries and
+all torn-tail prefixes), and proves recovery preserves durability and
+IFC monotonicity at each one — ``--broken-recovery`` swaps in the naive
+redo recovery, which must be caught and minimized to a byte-identically
+replayable ``faultplan/v1`` counterexample (``--plan-out``/``--replay``).  ``bench`` regenerates the paper's figures headlessly
 as ``BENCH_<figure>.json`` documents; ``--scale`` selects the sharded
 ``repro.cluster`` scaling bench (DESIGN.md §13), ``--validate`` checks
 existing documents instead, and ``--guard`` fails on regressions
@@ -132,7 +140,7 @@ def _reject_sarif(command: str, args: argparse.Namespace) -> bool:
     if getattr(args, "format", "text") == "sarif":
         print(
             f"repro {command}: --format sarif is only supported by "
-            "analyze/check/explore",
+            "analyze/check/explore/crashcheck",
             file=sys.stderr,
         )
         return True
@@ -411,6 +419,75 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_crashcheck(args: argparse.Namespace) -> int:
+    import json
+    import tempfile
+
+    from repro.faults.plan import PlanError
+    from repro.store import crashcheck as CC
+
+    with tempfile.TemporaryDirectory(prefix="repro-crashcheck-") as scratch:
+        workdir = args.dir or scratch
+        os.makedirs(workdir, exist_ok=True)
+
+        if args.replay:
+            try:
+                doc = CC.load_counterexample(args.replay)
+                result = CC.replay_counterexample(doc, workdir)
+            except (OSError, PlanError, ValueError, KeyError) as err:
+                print(f"repro crashcheck: --replay: {err}", file=sys.stderr)
+                return 2
+            if args.format == "json":
+                _emit(json.dumps(result.to_json(), indent=2, sort_keys=True), args.out)
+            elif args.format == "sarif":
+                print(
+                    "repro crashcheck: --format sarif applies to sweeps, "
+                    "not --replay",
+                    file=sys.stderr,
+                )
+                return 2
+            else:
+                print(result.format_text())
+            return 1 if result.reproduced else 0
+
+        if args.wal:
+            try:
+                data = open(args.wal, "rb").read()
+            except OSError as err:
+                print(f"repro crashcheck: --wal: {err}", file=sys.stderr)
+                return 2
+            boot = args.boot_records
+        else:
+            store_path = os.path.join(workdir, "crashcheck-wal.log")
+            try:
+                data, boot = CC.record_workload(store_path)
+            except ValueError as err:
+                print(f"repro crashcheck: {err}", file=sys.stderr)
+                return 2
+        try:
+            report = CC.sweep(
+                data, boot_records=boot, label_check=not args.broken_recovery
+            )
+        except (ValueError, CC.wal.WalError) as err:
+            print(f"repro crashcheck: {err}", file=sys.stderr)
+            return 2
+
+    if report.plan is not None and args.plan_out:
+        with open(args.plan_out, "w", encoding="utf-8") as fh:
+            json.dump(report.plan, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"repro crashcheck: wrote minimized plan to {args.plan_out}")
+    if args.format == "json":
+        _emit(json.dumps(report.to_json(), indent=2, sort_keys=True), args.out)
+    elif args.format == "sarif":
+        from repro.analysis import sarif
+
+        _emit(sarif.render(sarif.crashcheck_sarif(report)), args.out)
+    else:
+        _emit(report.format_text(), args.out)
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
@@ -492,6 +569,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     quiet = args.format == "json"
     seeds = args.seeds if args.seeds is not None else [args.seed]
+
+    def _store_for(seed):
+        # Each campaign (and each determinism repeat) recovers from an
+        # empty store; a reused file would replay the previous run's log.
+        if args.store is None:
+            return None
+        path = f"{args.store}.seed-{seed}"
+        for stale in (path, path + ".crash"):
+            if os.path.exists(stale):
+                os.unlink(stale)
+        return path
+
     results = []
     for seed in seeds:
         result = run_campaign(
@@ -501,6 +590,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             concurrency=args.concurrency,
             min_completion=args.min_completion,
+            store_path=_store_for(seed),
         )
         if args.repeat > 1:
             # Determinism audit: the same (plan, seed) must replay the
@@ -513,6 +603,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     rounds=args.rounds,
                     concurrency=args.concurrency,
                     min_completion=args.min_completion,
+                    store_path=_store_for(seed),
                 )
                 if again.events_json != result.events_json:
                     print(
@@ -777,6 +868,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="injector seeds, one campaign each (default: the one --seed)",
     )
     chaos.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="back ok-dbproxy with a wal/v1 store (one fresh file per "
+        "seed at PATH.seed-N); crashes then exercise log recovery",
+    )
+    chaos.add_argument(
         "--users", type=int, default=8, metavar="N", help="site users (default: 8)"
     )
     chaos.add_argument(
@@ -810,6 +908,51 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--json", dest="out", metavar="FILE", help=argparse.SUPPRESS
     )  # legacy alias for --out FILE
+
+    crashcheck = sub.add_parser(
+        "crashcheck",
+        parents=[common],
+        help="enumerate every crash point of the store's write-ahead log "
+        "and verify recovery (durability + IFC monotonicity)",
+    )
+    crashcheck.add_argument(
+        "--broken-recovery",
+        action="store_true",
+        help="check the deliberately broken recovery (naive redo, no "
+        "label check) instead — must exit 1 with a minimized plan",
+    )
+    crashcheck.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="replay one minimized counterexample plan live instead of "
+        "sweeping; exits 1 when it reproduces byte-identically",
+    )
+    crashcheck.add_argument(
+        "--dir",
+        metavar="DIR",
+        help="directory for the recorded/replayed store files "
+        "(default: a temporary directory)",
+    )
+    crashcheck.add_argument(
+        "--wal",
+        metavar="FILE",
+        help="sweep an existing wal/v1 image instead of recording the "
+        "board workload",
+    )
+    crashcheck.add_argument(
+        "--boot-records",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --wal, how many leading records are boot-phase "
+        "(excluded from plan minimization; default: 0)",
+    )
+    crashcheck.add_argument(
+        "--plan-out",
+        metavar="FILE",
+        help="write the minimized replayable faultplan/v1 document here "
+        "when the sweep fails",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -872,6 +1015,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(namespace)
     if namespace.command == "chaos":
         return _cmd_chaos(namespace)
+    if namespace.command == "crashcheck":
+        return _cmd_crashcheck(namespace)
     if namespace.command == "bench":
         return _cmd_bench(namespace)
     parser.error(f"unknown command {namespace.command!r}")  # pragma: no cover

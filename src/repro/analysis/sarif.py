@@ -1,9 +1,10 @@
-"""SARIF 2.1.0 emission, shared by ``repro analyze``/``check``/``explore``.
+"""SARIF 2.1.0 emission, shared by ``repro analyze``/``check``/
+``explore``/``crashcheck``.
 
-One emitter, three producers: asblint findings carry *physical*
-locations (file/line/col); asbcheck violations and asbsched breaches
-carry *logical* locations (the process or edge of the topology, which
-has no source file).  GitHub code scanning ingests any of them via
+One emitter, four producers: asblint findings carry *physical*
+locations (file/line/col); asbcheck violations, asbsched breaches and
+crashcheck recovery defects carry *logical* locations (the process,
+edge, or write-ahead log, which has no source file).  GitHub code scanning ingests any of them via
 ``upload-sarif``; the CI workflow wires the analyze and explore jobs'
 output through it.
 
@@ -271,6 +272,65 @@ def sched_sarif(report: Any) -> Dict[str, Any]:
             )
         )
     return make_sarif("asbsched", rules, results)
+
+
+def crashcheck_sarif(report: Any) -> Dict[str, Any]:
+    """SARIF for a :class:`repro.store.crashcheck.CrashcheckReport`.
+
+    One result per failing crash point (capped per kind below), located
+    logically at ``<workload>/wal`` — the store has no source file.  The
+    minimized counterexample's replayable ``faultplan/v1`` document rides
+    in every result's properties bag, so a code-scanning alert carries
+    the exact crash to reproduce."""
+    rules: Tuple[RuleInfo, ...] = (
+        (
+            "durability",
+            "durability",
+            "a committed row did not survive crash recovery",
+        ),
+        (
+            "atomicity",
+            "atomicity",
+            "recovery resurrected a row the committed state never held",
+        ),
+        (
+            "ifc-weakening",
+            "ifc-weakening",
+            "recovery applied a taint-weakening (declassifying) write the "
+            "committed, label-checked log never authorized",
+        ),
+    )
+    base: Dict[str, Any] = {
+        "workload": report.workload,
+        "records": report.records,
+        "points": report.points,
+        "label_check": report.label_check,
+    }
+    if report.minimized is not None:
+        base["minimized"] = report.minimized.to_json()
+    if report.plan is not None:
+        base["plan"] = report.plan
+    results: List[Dict[str, Any]] = []
+    per_kind_cap = 25  # thousands of points can fail; alerts need a sample
+    emitted: Dict[str, int] = {}
+    for failure in report.failures:
+        point = failure.point
+        for violation in failure.violations:
+            if emitted.get(violation.kind, 0) >= per_kind_cap:
+                continue
+            emitted[violation.kind] = emitted.get(violation.kind, 0) + 1
+            results.append(
+                make_result(
+                    violation.kind,
+                    f"crash at append #{point.at_io} "
+                    f"({point.torn_bytes} torn byte(s)): "
+                    f"{violation.table}: {violation.detail}",
+                    level="error",
+                    logical=[(f"{report.workload}/wal", "module")],
+                    properties={**base, "point": point.to_json()},
+                )
+            )
+    return make_sarif("crashcheck", rules, results)
 
 
 def check_sarif(report: Any) -> Dict[str, Any]:

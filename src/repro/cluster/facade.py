@@ -87,9 +87,15 @@ class ClusterConfig:
     def shard_kernel_config(self, shard_id: int) -> KernelConfig:
         """The kernel config for one shard.
 
-        Single-shard clusters keep the boot key verbatim — that is the
-        bit-identical guarantee.  Multi-shard clusters derive per-shard
-        keys so handle spaces are disjoint across the cluster.
+        Single-shard clusters keep the boot key (and any ``store_path``)
+        verbatim — that is the bit-identical guarantee.  Multi-shard
+        clusters derive per-shard keys so handle spaces are disjoint
+        across the cluster, and per-shard store paths
+        (``<path>.shard-<k>``) so each shard's dbproxy logs to — and
+        recovers from — its own file.  Because users are partitioned by
+        :func:`shard_of_user` independently of the shard count, a user's
+        rows land in the store of whichever shard owns them; recovery is
+        per-shard and needs no cross-shard coordination.
         """
         config = self.kernel
         if self.sanitize_sample is not None:
@@ -98,6 +104,10 @@ class ClusterConfig:
             config = config.replace(
                 boot_key=config.boot_key + b"/shard-%d" % shard_id
             )
+            if config.store_path is not None:
+                config = config.replace(
+                    store_path=f"{config.store_path}.shard-{shard_id}"
+                )
         return config
 
     def shard_specs(self) -> List[ShardSpec]:

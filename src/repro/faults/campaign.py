@@ -52,6 +52,12 @@ class CampaignResult:
     violations: int
     restarts: List[Dict[str, Any]]
     failed_services: List[str]
+    #: Store-backed dbproxy recoveries supervision performed (0 without a
+    #: configured store).
+    recoveries: int
+    #: Restart budget consumed per service: {service: restarts used of
+    #: RESTART_BUDGET} for every service that restarted at least once.
+    restart_budget: Dict[str, int]
     events_json: bytes
     min_completion: float = MIN_COMPLETION
     checks: Dict[str, bool] = field(default_factory=dict)
@@ -82,6 +88,8 @@ class CampaignResult:
             "violations": self.violations,
             "restarts": list(self.restarts),
             "failed_services": list(self.failed_services),
+            "recoveries": self.recoveries,
+            "restart_budget": dict(sorted(self.restart_budget.items())),
             "checks": dict(self.checks),
             "passed": self.passed,
             "fault_log": json.loads(self.events_json.decode()),
@@ -97,7 +105,10 @@ class CampaignResult:
             f"{dict(sorted(self.fault_summary.items()))}",
             f"restarts:     {len(self.restarts)} "
             f"({', '.join(sorted({r['service'] for r in self.restarts})) or 'none'})"
-            + (f"; failed: {sorted(self.failed_services)}" if self.failed_services else ""),
+            + (f"; failed: {sorted(self.failed_services)}" if self.failed_services else "")
+            + (f"; budget used: {dict(sorted(self.restart_budget.items()))}"
+               if self.restart_budget else "")
+            + (f"; recoveries: {self.recoveries}" if self.recoveries else ""),
         ]
         for name, passed in self.checks.items():
             lines.append(f"{ok[passed]:<5} {name}")
@@ -112,6 +123,7 @@ def run_campaign(
     concurrency: int = 8,
     min_completion: float = MIN_COMPLETION,
     spans: bool = False,
+    store_path: Optional[str] = None,
 ) -> CampaignResult:
     """Run one seeded chaos campaign; returns the audited result.
 
@@ -119,6 +131,12 @@ def run_campaign(
     the injector disarmed, arms it after launch (boot traffic stays
     reliable — a launch that cannot finish is a different experiment),
     then issues ``users × rounds`` closed-loop requests.
+
+    With *store_path*, ok-dbproxy runs on a ``wal/v1`` store: a campaign
+    that crashes it exercises supervised restart *plus* log recovery,
+    and the result's ``recoveries`` counter records each one.  The path
+    must be fresh — campaigns are deterministic only from an empty
+    store.
     """
     # Deferred imports: repro.faults.plan must stay importable without
     # the kernel (KernelConfig type-checks against it).
@@ -133,6 +151,7 @@ def run_campaign(
         spans=spans,
         faults=plan,
         fault_seed=seed,
+        store_path=store_path,
     )
     # Fault-free boot: launch() would loop restarting workers whose hello
     # messages the plan eats.  The injector's PRNG is untouched while
@@ -188,6 +207,14 @@ def run_campaign(
         violations=violations,
         restarts=list(site.launcher_env.get("restarts", [])),
         failed_services=list(site.launcher_env.get("failed_services", [])),
+        recoveries=int(site.launcher_env.get("recoveries", 0)),
+        restart_budget={
+            service: state["count"]
+            for service, state in sorted(
+                site.launcher_env.get("restart_state", {}).items()
+            )
+            if state.get("count")
+        },
         events_json=injector.events_json(),
         min_completion=min_completion,
     )

@@ -85,6 +85,7 @@ class FaultInjector:
         self.events: List[FaultEvent] = []
         self._fires: Dict[str, int] = {}
         self._syscalls: Dict[str, int] = {}
+        self._io_appends: Dict[str, int] = {}
         # Per-kind rule views, consulted in plan order.
         self._send_rules = plan.by_kind("drop", "delay")
         self._squeeze_rules = plan.by_kind("queue_limit")
@@ -92,6 +93,7 @@ class FaultInjector:
         self._stall_rules = plan.by_kind("stall")
         self._spawn_rules = plan.by_kind("spawn_fail")
         self._step_rules = plan.by_kind("kill_ep", "clock_noise")
+        self._io_rules = plan.by_kind("crash_at_io")
         self._kernel: Optional["Kernel"] = None
         self._counters: Dict[str, Any] = {}
         if kernel is not None:
@@ -237,6 +239,30 @@ class FaultInjector:
             return True
         return False
 
+    def on_io(
+        self, task_key: str, task_name: str, step: int, nbytes: int = 0
+    ) -> Optional[int]:
+        """Per-log-append crash check (``crash_at_io``).
+
+        Counts appends per task while armed; on the ``at_io``-th append of
+        a matching task, returns the rule's ``torn_bytes`` — the store
+        persists that many bytes of the record and crashes the process.
+        Returns ``None`` for "no fault".  Deterministic: never draws the
+        PRNG, so arming a crash_at_io-only plan perturbs nothing before
+        the crash itself."""
+        if not self.armed or not self._io_rules:
+            return None
+        count = self._io_appends.get(task_key, 0) + 1
+        self._io_appends[task_key] = count
+        for rule in self._io_rules:
+            if not self._live(rule, step) or not rule.matches_name(task_name):
+                continue
+            if count != rule.at_io:
+                continue
+            self._fire(rule, task_name, append=count, torn_bytes=rule.torn_bytes, nbytes=nbytes)
+            return rule.torn_bytes
+        return None
+
     def on_pick(self, task_name: str, step: int) -> bool:
         """Scheduler pick: True = stall (skip this turn, requeue)."""
         if not self.armed or not self._stall_rules:
@@ -307,4 +333,5 @@ _COUNTED_KINDS = (
     "stall",
     "spawn_fail",
     "clock_noise",
+    "crash_at_io",
 )

@@ -18,6 +18,10 @@ predicate selecting its victims, and when/how often it fires:
 ``spawn_fail``   fail a matching spawn with ResourceExhausted
 ``clock_noise``  charge ``cycles`` of background load with probability
                  ``p`` per scheduler step
+``crash_at_io``  crash a matching task at its ``at_io``-th log append,
+                 leaving ``torn_bytes`` bytes of that record durable (a
+                 torn-tail prefix; 0 = crash exactly at the record
+                 boundary)
 ========== ===================================================================
 
 Predicates (``sender`` / ``process`` / ``port_name`` / ``name``) are
@@ -49,6 +53,7 @@ KINDS = (
     "stall",
     "spawn_fail",
     "clock_noise",
+    "crash_at_io",
 )
 
 #: Per-kind required numeric knobs (beyond the shared window/probability).
@@ -57,6 +62,7 @@ _KIND_REQUIRED: Dict[str, Tuple[str, ...]] = {
     "queue_limit": ("limit",),
     "kill_ep": ("at_step",),
     "clock_noise": ("cycles",),
+    "crash_at_io": ("at_io",),
 }
 
 
@@ -92,6 +98,14 @@ class FaultRule:
     limit: int = 0
     #: Background-load charge (clock_noise), in cycles.
     cycles: int = 0
+    #: Crash exactly at the victim's N-th log append since arming
+    #: (crash_at_io; 1-based, counted per task).  Deterministic — this
+    #: kind never draws the PRNG, so the pre-crash run is byte-identical
+    #: between a recording and its replay.
+    at_io: Optional[int] = None
+    #: Bytes of the fatal record left durable (crash_at_io): 0 crashes at
+    #: the record boundary, anything larger leaves a torn-tail prefix.
+    torn_bytes: int = 0
     #: Step window in which the rule is live.
     after_step: int = 0
     until_step: Optional[int] = None
@@ -110,6 +124,10 @@ class FaultRule:
             raise PlanError(f"rule {self.id or self.kind}: rounds must be positive")
         if self.kind == "queue_limit" and self.limit < 0:
             raise PlanError(f"rule {self.id or self.kind}: limit must be >= 0")
+        if self.at_io is not None and self.at_io <= 0:
+            raise PlanError(f"rule {self.id or self.kind}: at_io must be positive")
+        if self.torn_bytes < 0:
+            raise PlanError(f"rule {self.id or self.kind}: torn_bytes must be >= 0")
         if self.max_fires is not None and self.max_fires <= 0:
             raise PlanError(f"rule {self.id or self.kind}: max_fires must be positive")
 

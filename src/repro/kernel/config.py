@@ -24,6 +24,7 @@ Environment variables (all optional; explicit arguments win):
 ``REPRO_SPANS``           enable span tracing (Chrome trace export)
 ``REPRO_FAULTS``          path to a ``faultplan/v1`` JSON fault plan
 ``REPRO_FAULT_SEED``      PRNG seed for the fault injector
+``REPRO_STORE``           path to ok-dbproxy's ``wal/v1`` store file
 ``REPRO_INTERN_LABELS``   hash-cons labels + memoize Figure 4 hot ops
 ``REPRO_LABELOP_CACHE``   bound on the label-op cache (entries)
 ======================== ==============================================
@@ -104,6 +105,11 @@ class KernelConfig:
       the kernel consults at its choke points) and ``fault_seed`` (the
       dedicated PRNG seed — the same (plan, seed) pair reproduces the
       identical fault event sequence);
+    - durable storage (DESIGN.md §14): ``store_path`` — when set,
+      ok-dbproxy backs its tables with a write-ahead-logged
+      :class:`~repro.store.store.LabeledStore` at that path (recovering
+      it at boot); ``None`` (the default) keeps the bit-identical
+      in-memory path and never imports :mod:`repro.store`;
     - the interned-label fast path (DESIGN.md §11): ``intern_labels``
       hash-conses every kernel-resident label through the process-wide
       :class:`~repro.core.interning.InternTable` and memoizes the three
@@ -124,6 +130,7 @@ class KernelConfig:
     span_limit: int = 250_000
     faults: Optional["FaultPlan"] = None
     fault_seed: int = 0
+    store_path: Optional[str] = None
     intern_labels: bool = False
     labelop_cache_size: int = 4096
 
@@ -195,6 +202,9 @@ class KernelConfig:
         seed = _env_int(env, "REPRO_FAULT_SEED")
         if seed is not None:
             values["fault_seed"] = seed
+        store_path = env.get("REPRO_STORE", "").strip()
+        if store_path:
+            values["store_path"] = store_path
         intern = _env_bool(env, "REPRO_INTERN_LABELS")
         if intern is not None:
             values["intern_labels"] = intern

@@ -88,6 +88,36 @@ class Context:
         channels being out of scope)."""
         return self._kernel.clock.now
 
+    @property
+    def config(self):
+        """The kernel's :class:`~repro.kernel.config.KernelConfig`.
+
+        Read-only run-mode options a component is allowed to see (e.g.
+        ok-dbproxy consults ``store_path``); the config is frozen, so a
+        program cannot use this to perturb the kernel."""
+        return self._kernel.config
+
+    def io_point(self, nbytes: int = 0) -> Optional[int]:
+        """A durable-I/O choke point (one log append of *nbytes*).
+
+        Consults the fault injector's ``crash_at_io`` rules; returns the
+        injected torn-byte count, or ``None`` for "no fault".  The caller
+        (the labeled store) owns persisting the torn prefix and raising
+        the crash."""
+        kernel = self._kernel
+        if kernel.faults is None:
+            return None
+        return kernel.faults.on_io(
+            self._task.key, self._task.name, kernel.steps_executed, nbytes
+        )
+
+    def metrics_scope(self, prefix: str):
+        """A :class:`~repro.obs.metrics.MetricsScope` under *prefix*.
+
+        Always safe to call — a disabled registry hands out no-op
+        instruments — so components can bind their counters once."""
+        return self._kernel.metrics.scope(prefix)
+
 
 class Task:
     """Base class for schedulable entities (processes and event processes)."""

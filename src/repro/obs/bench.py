@@ -480,6 +480,31 @@ def _sharded_latencies(
     return [cycles / CPU_HZ * 1e6 for cycles in result.latencies_cycles]
 
 
+def _durability_overhead() -> Dict[str, float]:
+    """Simulated per-connection cost of the board write workload with the
+    in-memory dbproxy vs the ``wal/v1``-backed store (DESIGN.md §14).
+
+    Both runs are the same deterministic four-request workload; the delta
+    is exactly the store's append billing (``APPEND_BASE_CYCLES`` plus
+    the per-byte charge), so the series quantifies what durability costs
+    on the Figure 9 cycle scale."""
+    import os
+    import tempfile
+
+    from repro.store.crashcheck import BOARD_REQUESTS, run_board_workload
+
+    out: Dict[str, float] = {}
+    requests = len(BOARD_REQUESTS)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as scratch:
+        for key, store_path in (
+            ("memory_kcycles_conn", None),
+            ("store_kcycles_conn", os.path.join(scratch, "wal.log")),
+        ):
+            site = run_board_workload(store_path)
+            out[key] = site.kernel.clock.now / requests / 1000.0
+    return out
+
+
 def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
     """Figure 9: component cost breakdown and label growth per session."""
     from repro.kernel.clock import CATEGORIES
@@ -490,6 +515,8 @@ def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
         grid, points = _sweep(quick)
     else:
         grid, points = sweep
+
+    durability = _durability_overhead()
 
     # Section 9.3's structural label-growth claims, on live kernel state.
     n = 50 if quick else 200
@@ -512,6 +539,13 @@ def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
     }
     series["kcycles_total"] = _series(
         [p.sessions for p in points], [p.total_kcycles for p in points], "Kcycles/conn"
+    )
+    # Durability overhead (DESIGN.md §14): x=0 is the in-memory dbproxy,
+    # x=1 the wal/v1-backed store, same board write workload.
+    series["durability_kcycles_conn"] = _series(
+        [0, 1],
+        [durability["memory_kcycles_conn"], durability["store_kcycles_conn"]],
+        "Kcycles/conn",
     )
     return _document(
         "fig9",
@@ -542,6 +576,13 @@ def run_fig9(quick: bool, sweep=None) -> Dict[str, Any]:
                 True,
                 points[-1].components_kcycles.get("Kernel IPC", 0)
                 > points[0].components_kcycles.get("Kernel IPC", 0),
+                "",
+            ),
+            comparison(
+                "wal/v1 store costs more than in-memory (durable writes)",
+                True,
+                durability["store_kcycles_conn"]
+                > durability["memory_kcycles_conn"],
                 "",
             ),
         ],

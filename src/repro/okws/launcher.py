@@ -113,6 +113,7 @@ def launcher_body(ctx):
         name="ok-dbproxy",
         component=OKDB,
         env={"admin_handle": admin, "announce_port": port},
+        notify_exit=port,
     )
     announce = yield Recv(port=port)  # dbproxy's ANNOUNCE
     db_ports = announce.payload["ports"]
@@ -120,20 +121,29 @@ def launcher_body(ctx):
     dbproxy_admin = db_ports["dbproxy_admin_port"]
     dbproxy_grant = db_ports["dbproxy_grant_port"]
 
-    # Seed the password table and site schema through the admin interface.
-    r = yield from chan.call(
-        dbproxy_admin,
-        P.request(P.QUERY, sql="CREATE TABLE users (uid INTEGER, name TEXT, password TEXT)"),
-    )
-    for statement in schema:
-        yield from chan.call(dbproxy_admin, P.request(P.QUERY, sql=statement))
-    rows = [
-        {"uid": uid, "name": name, "password": password}
-        for uid, (name, password) in enumerate(users, start=1)
-    ]
-    yield from chan.call(
-        dbproxy_admin, P.request("BULK_INSERT", table="users", rows=rows)
-    )
+    def seed_site():
+        """Seed the password table and site schema through the admin
+        interface.  Skipped when dbproxy announced recovered state — a
+        store-backed restart must not re-create tables it just replayed."""
+        yield from chan.call(
+            dbproxy_admin,
+            P.request(
+                P.QUERY,
+                sql="CREATE TABLE users (uid INTEGER, name TEXT, password TEXT)",
+            ),
+        )
+        for statement in schema:
+            yield from chan.call(dbproxy_admin, P.request(P.QUERY, sql=statement))
+        rows = [
+            {"uid": uid, "name": name, "password": password}
+            for uid, (name, password) in enumerate(users, start=1)
+        ]
+        yield from chan.call(
+            dbproxy_admin, P.request("BULK_INSERT", table="users", rows=rows)
+        )
+
+    if not announce.payload.get("recovered"):
+        yield from seed_site()
 
     # --- okc, the shared worker cache (Section 7.3) --------------------------------
     yield Spawn(
@@ -154,6 +164,7 @@ def launcher_body(ctx):
         component=OKWS,
         env={
             "dbproxy_admin_port": dbproxy_admin,
+            "dbproxy_grant_port": dbproxy_grant,
             "grant_ports": [dbproxy_grant, cache_grant],
             "announce_port": port,
         },
@@ -255,21 +266,103 @@ def launcher_body(ctx):
     #: Timestamped restart record: {"service", "at" (cycles), "crashed"}.
     ctx.env["restarts"] = []
     ctx.env["failed_services"] = []
+    #: Store-backed dbproxy recoveries performed by supervision.
+    ctx.env["recoveries"] = 0
     ctx.env["ready"] = True
 
     # --- supervision (Section 7.1: "a more mature version of launcher
     # --- could restart dead processes") -----------------------------------------------
     # Per-service restart accounting: total count (budget), recent
     # timestamps (storm detection), failed flag (degraded for good).
+    # ok-dbproxy is supervised under the same policy as the workers.
     restart_state: Dict[str, Dict[str, Any]] = {
         name: {"count": 0, "recent": [], "failed": False} for name in configs
     }
+    restart_state["ok-dbproxy"] = {"count": 0, "recent": [], "failed": False}
+    ctx.env["restart_state"] = restart_state
 
     def mark_failed(service: str) -> Any:
         restart_state[service]["failed"] = True
         ctx.env["failed_services"].append(service)
         ctx.log(f"service {service!r} marked failed; demux will degrade it")
         yield Send(demux_port, P.request("FAILED", service=service))
+
+    def fail_dbproxy() -> Any:
+        """dbproxy is unrestartable: without the database gateway every
+        DB-backed service is dead, so degrade them all."""
+        restart_state["ok-dbproxy"]["failed"] = True
+        ctx.env["failed_services"].append("ok-dbproxy")
+        ctx.log("ok-dbproxy marked failed; degrading all services")
+        for service in configs:
+            if not restart_state[service]["failed"]:
+                yield from mark_failed(service)
+
+    def restart_dbproxy() -> Any:
+        """Respawn ok-dbproxy and restore worker-visible state.
+
+        With a configured store the replacement recovers its tables from
+        the write-ahead log before announcing (and we skip re-seeding);
+        without one it comes back empty and is re-seeded — the no-store
+        baseline loses user rows, which is exactly the gap the store
+        closes.  Either way idd re-grants the user bindings (REBIND) and
+        every worker is replaced so it learns the new ports.  Returns
+        True on a configured restart."""
+        nonlocal dbproxy_port, dbproxy_admin, dbproxy_grant
+        try:
+            yield Spawn(
+                dbproxy_body,
+                name="ok-dbproxy",
+                component=OKDB,
+                env={"admin_handle": admin, "announce_port": port},
+                notify_exit=port,
+            )
+        except ResourceExhausted:
+            ctx.log("respawn of ok-dbproxy failed")
+            return False
+        # Pump for the replacement's ANNOUNCE; obituaries and stale
+        # worker hellos may interleave, exactly as in start_worker.
+        while True:
+            msg = yield Recv(port=port, timeout=WORKER_HELLO_TIMEOUT)
+            if msg is None:
+                ctx.log("restarted ok-dbproxy never announced")
+                return False
+            payload = msg.payload
+            if not isinstance(payload, dict):
+                continue
+            if payload.get("type") == "EXITED":
+                pending_exits.append(payload)
+                continue
+            if payload.get("type") == "ANNOUNCE" and payload.get("who") == "ok-dbproxy":
+                break
+        ports_out = payload["ports"]
+        dbproxy_port = ports_out["dbproxy_port"]
+        dbproxy_admin = ports_out["dbproxy_admin_port"]
+        dbproxy_grant = ports_out["dbproxy_grant_port"]
+        if payload.get("recovered"):
+            ctx.env["recoveries"] += 1
+        else:
+            yield from seed_site()
+        # idd still holds every user's handles at ⋆ (and the admin grant
+        # from boot): it re-grants the bindings at the new grant port and
+        # re-learns the new admin port for password checks.
+        yield Send(
+            idd_port,
+            P.request(
+                "REBIND",
+                dbproxy_admin_port=dbproxy_admin,
+                grant_port=dbproxy_grant,
+            ),
+        )
+        yield Send(dbproxy_grant, P.request("SET_IDD", port=idd_port))
+        ctx.env["dbproxy_port"] = dbproxy_port
+        ctx.env["dbproxy_admin_port"] = dbproxy_admin
+        # Replace every live worker: the old ones hold the dead proxy's
+        # ports (their writes 503-degrade) and retire when ok-demux's
+        # EXPECT swaps in their successors.
+        for config in services:
+            if not restart_state[config.name]["failed"]:
+                yield from start_worker(config)
+        return True
 
     while True:
         if pending_exits:
@@ -280,6 +373,34 @@ def launcher_body(ctx):
         if not isinstance(payload, dict) or payload.get("type") != "EXITED":
             continue
         name = payload.get("name", "")
+        if name == "ok-dbproxy":
+            state = restart_state["ok-dbproxy"]
+            if state["failed"]:
+                continue
+            now = ctx.now
+            ctx.env["restarts"].append(
+                {
+                    "service": "ok-dbproxy",
+                    "at": now,
+                    "crashed": bool(payload.get("crashed")),
+                }
+            )
+            recent = [t for t in state["recent"] if now - t < STORM_WINDOW]
+            recent.append(now)
+            state["recent"] = recent
+            if len(recent) > STORM_THRESHOLD:
+                ctx.log(f"restart storm for ok-dbproxy ({len(recent)} in window)")
+                yield from fail_dbproxy()
+                continue
+            restarted = False
+            while not restarted:
+                if state["count"] >= RESTART_BUDGET:
+                    yield from fail_dbproxy()
+                    break
+                state["count"] += 1
+                yield Deadline(RESTART_BACKOFF_BASE * (2 ** (state["count"] - 1)))
+                restarted = yield from restart_dbproxy()
+            continue
         if not name.startswith("worker-"):
             continue
         service = name[len("worker-"):]

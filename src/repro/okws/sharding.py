@@ -43,7 +43,7 @@ from repro.kernel.kernel import Kernel
 from repro.kernel.ports import RemoteRoute
 from repro.kernel.syscalls import NewHandle, NewPort, Recv, Send, SetPortLabel
 from repro.okws.launcher import OkwsSite, ServiceConfig, launch
-from repro.okws.services import echo_handler, session_cache_handler
+from repro.okws.services import echo_handler, notes_handler, session_cache_handler
 
 __all__ = [
     "SERVICES",
@@ -62,6 +62,10 @@ __all__ = [
 SERVICES: Dict[str, Callable] = {
     "echo": echo_handler,
     "cache": session_cache_handler,
+    # A write-backed service: the store's shard-invariance tests drive it
+    # (with the notes schema in ClusterConfig.schema) so each shard's
+    # dbproxy actually logs rows.
+    "notes": notes_handler,
 }
 
 

@@ -26,7 +26,8 @@ at ``⋆`` (via BIND), so receiving tainted queries never contaminates it.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Optional
 
 from repro.core.handles import Handle
 from repro.core.labels import Label
@@ -59,6 +60,44 @@ AFFIRM_RETRIES = 2
 WRITE_DEDUP_MAX = 4096
 
 
+class WriteDedupCache:
+    """A bounded LRU of completed writes (the replay-dedup map).
+
+    Long chaos campaigns retry thousands of writes; an unbounded map
+    grows with every distinct (reply port, req) pair for the life of the
+    proxy.  Bounding it LRU-style keeps the common case — a retry
+    arriving shortly after the original — a guaranteed hit, and evicts
+    only the entries least likely to ever be replayed.  A hit refreshes
+    the entry's recency (the client is evidently still retrying it)."""
+
+    def __init__(self, capacity: int = WRITE_DEDUP_MAX):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.evictions = 0
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+
+    def get(self, key: Any) -> Optional[Any]:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 def _classify(sql_text: str) -> S.Statement:
     return S.parse(sql_text)
 
@@ -75,7 +114,36 @@ def dbproxy_body(ctx):
     Env in: ``admin_handle`` (the launcher's admin grant handle).
     """
     admin_handle: Handle = ctx.env["admin_handle"]
-    db = Database()
+
+    # Durable storage (DESIGN.md §14): with a configured store_path the
+    # tables live in a write-ahead-logged LabeledStore, recovered here at
+    # boot.  The import is lazy and the hooks are bound here so that the
+    # default store_path=None run never touches repro.store at all — the
+    # in-memory path stays bit-identical.
+    store = None
+    store_path = getattr(ctx.config, "store_path", None)
+    recovered = False
+    if store_path is not None:
+        from repro.store.store import LabeledStore
+        from repro.store.wal import RowTaint
+
+        store = LabeledStore(
+            store_path,
+            io_hook=ctx.io_point,
+            compute=ctx.compute,
+            metrics=ctx.metrics_scope("kernel.store"),
+        )
+        db = store.db
+        recovered = store.report.records > 0
+        if recovered:
+            ctx.log(
+                f"recovered {store.report.committed_txs} tx(s), "
+                f"discarded {store.report.discarded_txs}, "
+                f"{store.report.torn_bytes} torn byte(s), "
+                f"{len(store.report.violations)} label violation(s)"
+            )
+    else:
+        db = Database()
 
     public_port = yield NewPort()
     yield SetPortLabel(public_port, Label.top())
@@ -97,6 +165,10 @@ def dbproxy_body(ctx):
                     "dbproxy_admin_port": admin_port,
                     "dbproxy_grant_port": grant_port,
                 },
+                # The launcher skips schema/user seeding when the store
+                # already recovered state (a supervised restart).
+                recovered=recovered,
+                tables=sorted(db.tables),
             ),
         )
 
@@ -110,8 +182,9 @@ def dbproxy_body(ctx):
 
     # Replay dedup for retried writes: (reply port, req) -> (reply
     # payload, reply CS label).  Lets a client retry a write whose reply
-    # was dropped without it executing twice.
-    completed_writes: Dict[Tuple[Handle, Any], Tuple[Dict, Optional[Label]]] = {}
+    # was dropped without it executing twice.  LRU-bounded: chaos
+    # campaigns must not grow it without limit.
+    completed_writes = WriteDedupCache(WRITE_DEDUP_MAX)
 
     def charge(result) -> None:
         ctx.compute(QUERY_BASE_CYCLES + ROW_SCAN_CYCLES * result.rows_scanned)
@@ -150,16 +223,35 @@ def dbproxy_body(ctx):
                 # table); rows land as public unless they carry an owner.
                 table = db.tables.get(payload.get("table", ""))
                 if table is not None:
+                    fulls = []
                     for row in payload.get("rows", []):
                         full = {name: None for name in table.column_names}
                         full.update(row)
                         full.setdefault(USER_ID_COLUMN, PUBLIC_USER_ID)
                         if full[USER_ID_COLUMN] is None:
                             full[USER_ID_COLUMN] = PUBLIC_USER_ID
-                        table.rows.append(full)
-                    table.invalidate_indexes()
+                        fulls.append(full)
+                    if store is not None:
+                        # One durable transaction of fully-bound inserts.
+                        store.bulk_insert(table.name, fulls, USER_ID_COLUMN)
+                    else:
+                        table.rows.extend(fulls)
+                        table.invalidate_indexes()
                 if reply is not None:
                     yield Send(reply, P.reply_to(payload, "BULK_INSERT_R", ok=True))
+                continue
+            if mtype == "CHECKPOINT":
+                # Append a full-state snapshot to the log (admin-only, so
+                # only the launcher and idd can force one).
+                if store is not None:
+                    store.checkpoint()
+                if reply is not None:
+                    yield Send(
+                        reply,
+                        P.reply_to(
+                            payload, "CHECKPOINT_R", ok=store is not None
+                        ),
+                    )
                 continue
             if mtype != P.QUERY or reply is None:
                 continue
@@ -177,7 +269,16 @@ def dbproxy_body(ctx):
                         ast.columns + (USER_ID_COLUMN,),
                         ast.values + (PUBLIC_USER_ID,),
                     )
-                result = db.run(ast, tuple(payload.get("params", ())))
+                params_in = tuple(payload.get("params", ()))
+                if store is not None and isinstance(
+                    ast, (S.CreateTable, S.Insert, S.Update, S.Delete)
+                ):
+                    # Admin writes are public and untainted; the logged
+                    # statement carries its own _user_id values, so owner
+                    # here is bookkeeping, not row data.
+                    result = store.apply(ast, params_in, owner=PUBLIC_USER_ID)
+                else:
+                    result = db.run(ast, params_in)
             except S.SqlError as err:
                 yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
                 continue
@@ -226,11 +327,12 @@ def dbproxy_body(ctx):
 
         if isinstance(ast, (S.Insert, S.Update, S.Delete)):
             req = payload.get("req")
-            if req is not None and (reply, req) in completed_writes:
+            cached = completed_writes.get((reply, req)) if req is not None else None
+            if cached is not None:
                 # A replayed write we already executed (only its reply was
                 # lost): re-send the recorded reply, do not run it again.
                 ctx.count("write_replays")
-                cached_payload, cached_cs = completed_writes[(reply, req)]
+                cached_payload, cached_cs = cached
                 yield Send(reply, dict(cached_payload), cs=cached_cs)
                 continue
             uid = username_uid
@@ -275,7 +377,21 @@ def dbproxy_body(ctx):
                     continue
             owner = PUBLIC_USER_ID if declassified else uid
             try:
-                result = db.run(_rewrite_write(ast, owner, uid, declassified), params)
+                rewritten = _rewrite_write(ast, owner, uid, declassified)
+                if store is None:
+                    result = db.run(rewritten, params)
+                else:
+                    # Persist the security facts with the write: the
+                    # user's taint compartment (for a declassified write,
+                    # the compartment the ⋆ proof covered) and the
+                    # contamination level its rows raise readers to.
+                    result = store.apply(
+                        rewritten,
+                        params,
+                        owner=owner,
+                        taint=RowTaint(handles=(taint,), level=L3),
+                        declass=declassified,
+                    )
             except S.SqlError as err:
                 yield Send(reply, P.reply_to(payload, P.ERROR_R, error=str(err)))
                 continue
@@ -283,9 +399,7 @@ def dbproxy_body(ctx):
             out = P.reply_to(payload, P.QUERY_R, rows_affected=result.rows_affected)
             out_cs = None if declassified else Label({taint: L3}, STAR)
             if req is not None:
-                if len(completed_writes) >= WRITE_DEDUP_MAX:
-                    completed_writes.clear()
-                completed_writes[(reply, req)] = (out, out_cs)
+                completed_writes.put((reply, req), (out, out_cs))
             yield Send(reply, out, cs=out_cs)
             continue
 

@@ -40,6 +40,9 @@ def idd_body(ctx):
     # Every privileged consumer of user handles gets a BIND when handles
     # are minted: ok-dbproxy always, plus e.g. the shared cache (okc).
     grant_ports = list(ctx.env.get("grant_ports") or [ctx.env["dbproxy_grant_port"]])
+    # Which entry is ok-dbproxy's (replaced wholesale on REBIND after a
+    # supervised restart); by convention the first.
+    dbproxy_grant: Handle = ctx.env.get("dbproxy_grant_port", grant_ports[0])
     service = yield NewPort()
     yield SetPortLabel(service, Label.top())
     ctx.env["idd_port"] = service
@@ -107,3 +110,30 @@ def idd_body(ctx):
             ok = cache.get(uid) == (payload.get("taint"), payload.get("grant"))
             if reply is not None:
                 yield Send(reply, P.reply_to(payload, "AFFIRM_R", ok=ok))
+
+        elif mtype == "REBIND":
+            # The launcher restarted ok-dbproxy: learn its new admin port
+            # (password checks) and replay every cached user binding to
+            # the replacement's grant port.  idd minted the handles, so it
+            # still holds uT/uG at ⋆ — no new grants are needed, and the
+            # admin ⋆ from the boot-time GRANT keeps the admin port
+            # reachable.
+            new_admin = payload.get("dbproxy_admin_port")
+            new_grant = payload.get("grant_port")
+            if new_admin is not None:
+                admin_port = new_admin
+            if new_grant is not None:
+                grant_ports = [p for p in grant_ports if p != dbproxy_grant]
+                grant_ports.append(new_grant)
+                dbproxy_grant = new_grant
+                for uid in sorted(cache):
+                    taint, grant = cache[uid]
+                    yield Send(
+                        new_grant,
+                        P.request("BIND", uid=uid, taint=taint, grant=grant),
+                        ds=Label({taint: STAR, grant: STAR}, L3),
+                    )
+            if reply is not None:
+                yield Send(
+                    reply, P.reply_to(payload, "REBIND_R", ok=True, users=len(cache))
+                )

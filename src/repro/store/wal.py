@@ -1,0 +1,283 @@
+"""The ``wal/v1`` on-disk log format.
+
+A write-ahead log is a sequence of CRC-framed records::
+
+    [4-byte BE payload length][4-byte BE CRC32(payload)][payload bytes]
+
+The payload is compact, key-sorted JSON — one of four record types:
+
+``begin``       ``{"t": "begin", "tx": N}``
+``write``       ``{"t": "write", "tx": N, "stmt": ..., "params": [...],
+                "owner": uid, "taint": {"handles": [...], "level": L} | null,
+                "declass": bool}``
+``commit``      ``{"t": "commit", "tx": N}``
+``checkpoint``  ``{"t": "checkpoint", "tables": {name: {"columns": [...],
+                "rows": [...]}}, "taints": {uid: {...}}}``
+
+Writes are *logical redo* records: the (already policy-rewritten)
+statement AST plus its bound parameters, exactly what ok-dbproxy handed
+the relational engine.  Replaying the committed records in log order
+against an empty :class:`~repro.db.engine.Database` reproduces the
+committed state deterministically, because the engine itself is
+deterministic.  Each write additionally carries the security facts the
+recovery label check needs: the owning user ID, the taint-handle set and
+contamination level the writer's compartment carried, and whether the
+writer proved declassification privilege (``V(uT) = ⋆``).
+
+Torn tails are first-class: :func:`scan` reads records until the bytes
+stop framing — a short header, a short payload, or a CRC mismatch — and
+reports how many trailing bytes it had to discard.  A crash may leave any
+prefix of the final record on disk; everything before it must still parse.
+
+This module knows nothing about the kernel or labels-as-objects; handles
+and levels are plain integers here, which is also what makes the format
+stable across boots (handle *values* are per-boot, so recovery treats
+them as evidence to check, not capabilities to reuse).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.db import sql as S
+
+#: Schema identifier (stamped into checkpoint records and used by tools).
+SCHEMA = "wal/v1"
+
+#: Bytes of framing before each payload: 4-byte length + 4-byte CRC32.
+HEADER_BYTES = 8
+
+_HEADER = struct.Struct(">II")
+
+#: Record types, in the order they typically appear.
+RECORD_TYPES = ("begin", "write", "commit", "checkpoint")
+
+
+class WalError(ValueError):
+    """A structurally invalid record (bad framing is *not* an error at the
+    tail — it is a torn write — but a well-framed record with a malformed
+    payload is)."""
+
+
+# -- statement (de)serialisation -------------------------------------------------
+
+
+def stmt_to_json(ast: S.Statement) -> Dict[str, Any]:
+    """A JSON-stable encoding of the write-side statement ASTs."""
+    if isinstance(ast, S.CreateTable):
+        return {"op": "create", "table": ast.table, "columns": [list(c) for c in ast.columns]}
+    if isinstance(ast, S.Insert):
+        return {
+            "op": "insert",
+            "table": ast.table,
+            "columns": list(ast.columns),
+            "values": [_value_to_json(v) for v in ast.values],
+        }
+    if isinstance(ast, S.Update):
+        return {
+            "op": "update",
+            "table": ast.table,
+            "assignments": [[c, _value_to_json(v)] for c, v in ast.assignments],
+            "where": [_cond_to_json(c) for c in ast.where],
+        }
+    if isinstance(ast, S.Delete):
+        return {
+            "op": "delete",
+            "table": ast.table,
+            "where": [_cond_to_json(c) for c in ast.where],
+        }
+    raise WalError(f"not a loggable statement: {ast!r}")
+
+
+def stmt_from_json(doc: Dict[str, Any]) -> S.Statement:
+    op = doc.get("op")
+    if op == "create":
+        return S.CreateTable(doc["table"], tuple((n, t) for n, t in doc["columns"]))
+    if op == "insert":
+        return S.Insert(
+            doc["table"],
+            tuple(doc["columns"]),
+            tuple(_value_from_json(v) for v in doc["values"]),
+        )
+    if op == "update":
+        return S.Update(
+            doc["table"],
+            tuple((c, _value_from_json(v)) for c, v in doc["assignments"]),
+            tuple(_cond_from_json(c) for c in doc["where"]),
+        )
+    if op == "delete":
+        return S.Delete(doc["table"], tuple(_cond_from_json(c) for c in doc["where"]))
+    raise WalError(f"unknown statement op: {op!r}")
+
+
+def _value_to_json(value: S.Value) -> Any:
+    if isinstance(value, S.Placeholder):
+        return {"?": value.index}
+    return value
+
+
+def _value_from_json(doc: Any) -> S.Value:
+    if isinstance(doc, dict):
+        return S.Placeholder(doc["?"])
+    return doc
+
+
+def _cond_to_json(cond: S.Condition) -> List[Any]:
+    return [cond.column, _value_to_json(cond.value)]
+
+
+def _cond_from_json(doc: List[Any]) -> S.Condition:
+    return S.Condition(doc[0], _value_from_json(doc[1]))
+
+
+# -- taint metadata --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowTaint:
+    """The security facts persisted with a write: the taint-handle set the
+    rows carry and the contamination level readers are raised to.  A
+    ``None`` taint on a record means an untainted (public/admin) write."""
+
+    handles: Tuple[int, ...]
+    level: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"handles": sorted(self.handles), "level": self.level}
+
+    @classmethod
+    def from_json(cls, doc: Optional[Dict[str, Any]]) -> Optional["RowTaint"]:
+        if doc is None:
+            return None
+        return cls(handles=tuple(sorted(doc["handles"])), level=doc["level"])
+
+
+# -- framing ---------------------------------------------------------------------
+
+
+def frame(payload: Dict[str, Any]) -> bytes:
+    """Encode one record: header + compact key-sorted JSON payload."""
+    body = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    ).encode("ascii")
+    return _HEADER.pack(len(body), zlib.crc32(body)) + body
+
+
+@dataclass(frozen=True)
+class Record:
+    """One decoded record plus its byte span in the log file."""
+
+    payload: Dict[str, Any]
+    offset: int  # first byte of the header
+    length: int  # total framed length (header + payload)
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+    @property
+    def type(self) -> str:
+        return self.payload.get("t", "")
+
+    @property
+    def tx(self) -> Optional[int]:
+        return self.payload.get("tx")
+
+
+@dataclass(frozen=True)
+class ScanResult:
+    """Everything :func:`scan` learned about a log image."""
+
+    records: Tuple[Record, ...]
+    #: Bytes of well-framed log (== offset of the torn tail, if any).
+    clean_bytes: int
+    #: Trailing bytes that failed to frame (0 on a cleanly closed log).
+    torn_bytes: int
+
+    @property
+    def torn(self) -> bool:
+        return self.torn_bytes > 0
+
+
+def scan(data: bytes) -> ScanResult:
+    """Decode *data* record by record, stopping at the first torn tail.
+
+    A short header, a short payload, or a CRC mismatch ends the scan —
+    that is what a crash mid-append leaves behind, and recovery must
+    treat everything before it as the durable log.  A well-framed record
+    whose payload is not a JSON object is a :class:`WalError` (the log
+    was corrupted in place, not torn)."""
+    records: List[Record] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < HEADER_BYTES:
+            break  # torn header
+        length, crc = _HEADER.unpack_from(data, offset)
+        body_start = offset + HEADER_BYTES
+        if total - body_start < length:
+            break  # torn payload
+        body = data[body_start : body_start + length]
+        if zlib.crc32(body) != crc:
+            break  # torn or corrupted tail; recovery stops here
+        try:
+            payload = json.loads(body.decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise WalError(f"record at offset {offset}: undecodable payload: {err}")
+        if not isinstance(payload, dict) or payload.get("t") not in RECORD_TYPES:
+            raise WalError(f"record at offset {offset}: not a wal/v1 record")
+        records.append(Record(payload, offset, HEADER_BYTES + length))
+        offset = body_start + length
+    return ScanResult(
+        records=tuple(records), clean_bytes=offset, torn_bytes=total - offset
+    )
+
+
+def scan_file(path: str) -> ScanResult:
+    with open(path, "rb") as handle:
+        return scan(handle.read())
+
+
+# -- record constructors ---------------------------------------------------------
+
+
+def begin_record(tx: int) -> Dict[str, Any]:
+    return {"t": "begin", "tx": tx}
+
+
+def write_record(
+    tx: int,
+    ast: S.Statement,
+    params: Tuple[Any, ...],
+    owner: int,
+    taint: Optional[RowTaint],
+    declass: bool,
+) -> Dict[str, Any]:
+    return {
+        "t": "write",
+        "tx": tx,
+        "stmt": stmt_to_json(ast),
+        "params": list(params),
+        "owner": owner,
+        "taint": taint.to_json() if taint is not None else None,
+        "declass": bool(declass),
+    }
+
+
+def commit_record(tx: int) -> Dict[str, Any]:
+    return {"t": "commit", "tx": tx}
+
+
+def checkpoint_record(
+    tables: Dict[str, Dict[str, Any]], taints: Dict[int, Dict[str, Any]]
+) -> Dict[str, Any]:
+    return {
+        "t": "checkpoint",
+        "schema": SCHEMA,
+        "tables": tables,
+        "taints": {str(uid): doc for uid, doc in taints.items()},
+    }

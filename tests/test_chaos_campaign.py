@@ -105,3 +105,24 @@ def test_campaign_report_is_json_serialisable():
     lines = result.summary_lines()
     assert any("requests:" in line for line in lines)
     assert any(line.startswith("PASS") for line in lines)
+
+
+def test_campaign_reports_recovery_statistics(tmp_path):
+    """A store-backed campaign that kills ok-dbproxy must surface the
+    per-seed recovery/restart accounting in its summary JSON."""
+    plan = FaultPlan.of(
+        FaultRule(kind="crash", id="dbx", match="ok-dbproxy", p=1.0, max_fires=1)
+    )
+    result = run_campaign(plan, seed=0, store_path=str(tmp_path / "wal.log"))
+    assert result.recoveries == 1
+    assert result.restart_budget == {"ok-dbproxy": 1}
+    doc = json.loads(json.dumps(result.to_json()))
+    assert doc["recoveries"] == 1
+    assert doc["restart_budget"] == {"ok-dbproxy": 1}
+    assert any("recoveries: 1" in line for line in result.summary_lines())
+
+    # Without a store the same crash restarts but never recovers.
+    memory = run_campaign(plan, seed=0)
+    assert memory.recoveries == 0
+    assert memory.restart_budget == {"ok-dbproxy": 1}
+    assert memory.to_json()["recoveries"] == 0

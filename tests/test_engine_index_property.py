@@ -1,0 +1,101 @@
+"""Property test: ``Table._indexes`` stays consistent with ``rows``.
+
+The simulation-only equality indexes are built lazily by ``lookup`` and
+must be invalidated by every mutating statement.  Hypothesis drives a
+random interleaving of INSERT / UPDATE / DELETE with lookups on random
+column subsets; after every step each indexed answer must equal a fresh
+linear scan of ``rows``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.engine import Database
+
+COLUMNS = ("a", "b", "c")
+
+_value = st.integers(min_value=0, max_value=3)
+
+_insert = st.tuples(st.just("insert"), _value, _value, _value)
+_update = st.tuples(
+    st.just("update"), st.sampled_from(COLUMNS), _value,
+    st.sampled_from(COLUMNS), _value,
+)
+_delete = st.tuples(st.just("delete"), st.sampled_from(COLUMNS), _value)
+_lookup = st.tuples(
+    st.just("lookup"),
+    st.lists(st.sampled_from(COLUMNS), min_size=1, max_size=3, unique=True),
+    _value,
+)
+
+_script = st.lists(
+    st.one_of(_insert, _update, _delete, _lookup), min_size=1, max_size=40
+)
+
+
+def _scan(rows, conditions):
+    return [
+        row
+        for row in rows
+        if all(row.get(col) == val for col, val in conditions.items())
+    ]
+
+
+def _check_all_indexes(table):
+    """Every materialized index must answer exactly like a linear scan."""
+    for key, index in table._indexes.items():
+        cols = sorted(key)
+        for values, hits in index.items():
+            conditions = dict(zip(cols, values))
+            assert hits == _scan(table.rows, conditions), (
+                f"stale index for {conditions}"
+            )
+        # And no matching row may be missing from the index entirely.
+        for row in table.rows:
+            values = tuple(row.get(c) for c in cols)
+            assert row in index.get(values, []), f"row missing from index {cols}"
+
+
+@settings(max_examples=60)
+@given(_script)
+def test_indexes_track_rows_through_writes(script):
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)")
+    table = db.tables["t"]
+    for step in script:
+        if step[0] == "insert":
+            _, a, b, c = step
+            db.execute("INSERT INTO t (a, b, c) VALUES (?, ?, ?)", (a, b, c))
+        elif step[0] == "update":
+            _, set_col, set_val, where_col, where_val = step
+            db.execute(
+                f"UPDATE t SET {set_col} = ? WHERE {where_col} = ?",
+                (set_val, where_val),
+            )
+        elif step[0] == "delete":
+            _, where_col, where_val = step
+            db.execute(f"DELETE FROM t WHERE {where_col} = ?", (where_val,))
+        else:
+            _, cols, val = step
+            conditions = {col: val for col in cols}
+            assert table.lookup(conditions) == _scan(table.rows, conditions)
+        _check_all_indexes(table)
+
+
+@given(_script)
+@settings(max_examples=30)
+def test_lookup_never_mutates_rows(script):
+    db = Database()
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER, c INTEGER)")
+    table = db.tables["t"]
+    for step in script:
+        if step[0] == "insert":
+            _, a, b, c = step
+            db.execute("INSERT INTO t (a, b, c) VALUES (?, ?, ?)", (a, b, c))
+    before = [dict(r) for r in table.rows]
+    for col in COLUMNS:
+        for val in range(4):
+            table.lookup({col: val})
+    assert table.rows == before

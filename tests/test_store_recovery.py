@@ -1,0 +1,230 @@
+"""LabeledStore: the durable write path and the recovery protocol."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.db import sql as S
+from repro.store import wal
+from repro.store.store import (
+    LabeledStore,
+    StoreCrash,
+    image_digest,
+    policy_problem,
+    replay_image,
+)
+from repro.store.wal import RowTaint
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "wal.log")
+
+
+def _fresh(path, **kw):
+    store = LabeledStore(path, **kw)
+    store.apply(S.parse("CREATE TABLE t (a INTEGER, b TEXT)"))
+    return store
+
+
+def test_apply_then_reopen_recovers_committed_rows(path):
+    store = _fresh(path)
+    store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (1, "x"))
+    store.apply(
+        S.parse("INSERT INTO t (a, b) VALUES (?, ?)"),
+        (2, "y"),
+        owner=7,
+        taint=RowTaint(handles=(99,), level=3),
+    )
+    store.close()
+
+    again = LabeledStore(path)
+    assert again.report.committed_txs == 3
+    assert again.report.discarded_txs == 0
+    assert not again.report.violations
+    assert sorted((r["a"], r["b"]) for r in again.db.tables["t"].rows) == [
+        (1, "x"),
+        (2, "y"),
+    ]
+    # The private owner's taint metadata survives recovery.
+    assert again.taints[7] == RowTaint(handles=(99,), level=3)
+    again.close()
+
+
+def test_uncommitted_transaction_is_discarded(path):
+    store = _fresh(path)
+    store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (1, "x"))
+    store.close()
+    # Hand-append a begin+write with no commit: the crash window.
+    with open(path, "ab") as fh:
+        fh.write(wal.frame(wal.begin_record(99)))
+        fh.write(
+            wal.frame(
+                wal.write_record(
+                    99, S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (2, "y"), 0, None, False
+                )
+            )
+        )
+
+    again = LabeledStore(path)
+    assert again.report.discarded_txs == 1
+    assert [r["a"] for r in again.db.tables["t"].rows] == [1]
+    # The replacement's transaction counter moves past the dead tx.
+    assert again._next_tx == 100
+    again.close()
+
+
+def test_torn_tail_is_truncated_and_appends_continue(path):
+    store = _fresh(path)
+    store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (1, "x"))
+    store.close()
+    clean = open(path, "rb").read()
+    with open(path, "ab") as fh:
+        fh.write(wal.frame(wal.begin_record(3))[:5])  # torn mid-header
+
+    again = LabeledStore(path)
+    assert again.report.torn_bytes == 5
+    assert os.path.getsize(path) == len(clean)
+    again.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (2, "y"))
+    again.close()
+    assert not wal.scan_file(path).torn
+
+
+def test_strict_recovery_skips_policy_violating_writes(path):
+    """A tainted write claiming public ownership without declassification
+    is repaired away and recorded, not resurrected."""
+    store = _fresh(path)
+    store.close()
+    with open(path, "ab") as fh:
+        fh.write(wal.frame(wal.begin_record(5)))
+        fh.write(
+            wal.frame(
+                wal.write_record(
+                    5,
+                    S.parse("INSERT INTO t (a, b) VALUES (?, ?)"),
+                    (9, "leak"),
+                    0,  # public owner...
+                    RowTaint(handles=(4,), level=3),  # ...but carrying taint
+                    False,  # and no declassification proof
+                )
+            )
+        )
+        fh.write(wal.frame(wal.commit_record(5)))
+
+    strict = LabeledStore(path)
+    assert len(strict.report.violations) == 1
+    assert strict.report.violations[0].table == "t"
+    assert strict.db.tables["t"].rows == []
+    strict.close()
+
+    naive = replay_image(open(path, "rb").read(), label_check=False)
+    assert [r["a"] for r in naive.db.tables["t"].rows] == [9]
+
+
+@pytest.mark.parametrize(
+    "owner,taint,declass,bad",
+    [
+        (0, None, False, False),                      # admin write
+        (0, {"handles": [1], "level": 3}, True, False),   # declassified
+        (7, {"handles": [1], "level": 3}, False, False),  # private
+        (0, {"handles": [1], "level": 3}, False, True),   # taint-to-public
+        (7, {"handles": [1], "level": 3}, True, True),    # declass, private owner
+        (0, None, True, True),                        # declass, no compartment
+        (7, None, False, True),                       # private, taint lost
+    ],
+)
+def test_policy_problem_rules(owner, taint, declass, bad):
+    payload = {"owner": owner, "taint": taint, "declass": declass}
+    assert (policy_problem(payload) is not None) == bad
+
+
+def test_checkpoint_reopens_from_snapshot(path):
+    store = _fresh(path)
+    store.apply(
+        S.parse("INSERT INTO t (a, b) VALUES (?, ?)"),
+        (1, "x"),
+        owner=3,
+        taint=RowTaint(handles=(8,), level=3),
+    )
+    store.checkpoint()
+    store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (2, "y"))
+    store.close()
+
+    again = LabeledStore(path)
+    assert again.report.checkpoints_used == 1
+    assert sorted(r["a"] for r in again.db.tables["t"].rows) == [1, 2]
+    assert again.taints[3] == RowTaint(handles=(8,), level=3)
+    again.close()
+
+
+def test_rejected_statement_leaves_no_trace_in_the_log(path):
+    store = _fresh(path)
+    before = os.path.getsize(path)
+    with pytest.raises(S.SqlError):
+        store.apply(S.parse("INSERT INTO nope (a) VALUES (?)"), (1,))
+    assert os.path.getsize(path) == before
+    store.close()
+
+
+def test_bulk_insert_is_one_transaction_with_per_row_owners(path):
+    store = LabeledStore(path)
+    store.apply(S.parse("CREATE TABLE users (uid INTEGER, _user_id INTEGER)"))
+    store.bulk_insert(
+        "users", [{"uid": 1, "_user_id": 1}, {"uid": 2, "_user_id": None}]
+    )
+    store.close()
+    records = wal.scan_file(path).records
+    writes = [r for r in records if r.type == "write" and r.payload["stmt"]["op"] == "insert"]
+    assert [w.payload["owner"] for w in writes] == [1, 0]
+    assert len({w.tx for w in writes}) == 1
+
+
+def test_injected_crash_freezes_the_image(path):
+    fire = {"arm": False}
+
+    def hook(nbytes):
+        return 3 if fire["arm"] else None
+
+    store = _fresh(path, io_hook=hook)
+    clean = open(path, "rb").read()
+    fire["arm"] = True
+    with pytest.raises(StoreCrash):
+        store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (1, "x"))
+    crash = open(path + ".crash", "rb").read()
+    assert crash == clean + wal.frame(wal.begin_record(2))[:3]
+    assert image_digest(crash) == image_digest(open(path, "rb").read())
+    # Recovery of the crashed image finds only the schema transaction.
+    state = replay_image(crash)
+    assert state.report.committed_txs == 1
+    assert state.report.torn_bytes == 3
+
+
+def test_metrics_counters(path):
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry(enabled=True)
+    store = _fresh(path, metrics=registry.scope("kernel.store"))
+    store.apply(S.parse("INSERT INTO t (a, b) VALUES (?, ?)"), (1, "x"))
+    store.close()
+    snap = registry.snapshot()
+    assert snap["kernel.store.appends"] == 6  # 2 tx x (begin+write+commit)
+    assert snap["kernel.store.commits"] == 2
+    assert snap["kernel.store.bytes"] > 0
+    assert "kernel.store.recoveries" not in snap  # fresh file, no recovery
+
+    registry2 = MetricsRegistry(enabled=True)
+    LabeledStore(path, metrics=registry2.scope("kernel.store")).close()
+    snap2 = registry2.snapshot()
+    assert snap2["kernel.store.recoveries"] == 1
+    assert snap2["kernel.store.recovered_txs"] == 2
+
+
+def test_compute_hook_bills_cycles(path):
+    billed = []
+    store = LabeledStore(path, compute=billed.append)
+    store.apply(S.parse("CREATE TABLE t (a INTEGER)"))
+    store.close()
+    assert len(billed) == 3
+    assert all(c > 12_000 for c in billed)

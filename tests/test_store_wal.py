@@ -1,0 +1,110 @@
+"""The ``wal/v1`` record format: framing, torn tails, statement codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import sql as S
+from repro.store import wal
+from repro.store.wal import RowTaint
+
+
+def _log(*payloads):
+    return b"".join(wal.frame(p) for p in payloads)
+
+
+def _tx(tx, stmt="INSERT INTO t (a) VALUES (?)", params=(1,), **kw):
+    kw.setdefault("owner", 0)
+    kw.setdefault("taint", None)
+    kw.setdefault("declass", False)
+    return [
+        wal.begin_record(tx),
+        wal.write_record(tx, S.parse(stmt), tuple(params), **kw),
+        wal.commit_record(tx),
+    ]
+
+
+def test_roundtrip_all_record_types():
+    taint = RowTaint(handles=(7, 3), level=3)
+    data = _log(
+        wal.begin_record(1),
+        wal.write_record(
+            1, S.parse("INSERT INTO t (a) VALUES (?)"), (5,), 2, taint, False
+        ),
+        wal.commit_record(1),
+        wal.checkpoint_record({"t": {"columns": [["a", "INTEGER"]], "rows": []}}, {}),
+    )
+    scanned = wal.scan(data)
+    assert not scanned.torn
+    assert [r.type for r in scanned.records] == ["begin", "write", "commit", "checkpoint"]
+    write = scanned.records[1].payload
+    assert write["owner"] == 2
+    # Taint handles are persisted sorted, so the encoding is canonical.
+    assert write["taint"] == {"handles": [3, 7], "level": 3}
+    assert RowTaint.from_json(write["taint"]) == RowTaint(handles=(3, 7), level=3)
+    assert RowTaint.from_json(None) is None
+
+
+def test_framing_is_deterministic():
+    payload = {"t": "begin", "tx": 9}
+    assert wal.frame(payload) == wal.frame({"tx": 9, "t": "begin"})
+
+
+@pytest.mark.parametrize(
+    "stmt,params",
+    [
+        ("CREATE TABLE t (a INTEGER, b TEXT)", ()),
+        ("INSERT INTO t (a, b) VALUES (?, ?)", (1, "x")),
+        ("UPDATE t SET b = ? WHERE a = ?", ("y", 1)),
+        ("DELETE FROM t WHERE a = ?", (1,)),
+    ],
+)
+def test_statement_codec_roundtrip(stmt, params):
+    ast = S.parse(stmt)
+    doc = wal.stmt_to_json(ast)
+    assert wal.stmt_from_json(doc) == ast
+
+
+def test_select_is_not_loggable():
+    with pytest.raises(wal.WalError):
+        wal.stmt_to_json(S.parse("SELECT a FROM t"))
+
+
+@pytest.mark.parametrize("cut", [1, 4, 7, 8, 9])
+def test_torn_tail_stops_the_scan(cut):
+    """Any prefix of the final record — inside the header, the CRC, or
+    the payload — is a torn tail, not an error."""
+    data = _log(*_tx(1))
+    records = wal.scan(data).records
+    last = records[-1]
+    torn = data[: last.offset + min(cut, last.length - 1)]
+    scanned = wal.scan(torn)
+    assert len(scanned.records) == len(records) - 1
+    assert scanned.clean_bytes == last.offset
+    assert scanned.torn
+    assert scanned.torn_bytes == len(torn) - last.offset
+
+
+def test_corrupt_tail_byte_reads_as_torn():
+    data = _log(*_tx(1))
+    flipped = data[:-1] + bytes([data[-1] ^ 0xFF])
+    scanned = wal.scan(flipped)
+    assert len(scanned.records) == 2  # the commit no longer CRCs
+    assert scanned.torn
+
+
+def test_well_framed_garbage_is_an_error_not_a_torn_tail():
+    bad = wal._HEADER.pack(4, __import__("zlib").crc32(b"[1]\n")) + b"[1]\n"
+    with pytest.raises(wal.WalError):
+        wal.scan(_log(wal.begin_record(1)) + bad)
+
+
+def test_unknown_record_type_is_an_error():
+    with pytest.raises(wal.WalError):
+        wal.scan(wal.frame({"t": "vacuum"}))
+
+
+def test_scan_empty_image():
+    scanned = wal.scan(b"")
+    assert scanned.records == ()
+    assert not scanned.torn
