@@ -247,6 +247,32 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"repro check: {err}", file=sys.stderr)
         return 2
 
+    if getattr(args, "emit_proofs", None):
+        from repro.analysis import proofs as P
+
+        if not report.ok:
+            # A failing check means some edge is *not* always-allowed;
+            # shipping proofs for the rest would mask the finding.
+            print(
+                "repro check: --emit-proofs: check failed, no proofs written",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                doc = P.compile_proofs(topology, max_states=args.max_states)
+            except P.ProofError as err:
+                print(f"repro check: --emit-proofs: {err}", file=sys.stderr)
+                return 2
+            P.write_proofs(doc, args.emit_proofs)
+            stats = doc["stats"]
+            print(
+                f"repro check: wrote {args.emit_proofs}: "
+                f"{stats['deliver_stubs']} deliver + {stats['send_stubs']} "
+                f"send stubs from {stats['proven_edges']}/{stats['edges']} "
+                f"proven edges",
+                file=sys.stderr,
+            )
+
     fmt = "json" if args.json else args.format
     if fmt == "json":
         _emit(json.dumps(report.to_json(), indent=2), args.out)
@@ -742,6 +768,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--dump-topology",
         metavar="FILE",
         help="also write the checked topology document to FILE",
+    )
+    check.add_argument(
+        "--emit-proofs",
+        metavar="FILE",
+        dest="emit_proofs",
+        help="compile the always-allowed edges into a proofs/v1 verified-"
+        "flow document at FILE (consumed by REPRO_ELIDE=1, DESIGN.md §15); "
+        "only written when the check passes",
     )
 
     explore = sub.add_parser(

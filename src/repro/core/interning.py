@@ -93,7 +93,7 @@ import itertools
 import struct
 import weakref
 from collections import OrderedDict
-from typing import Any, Dict, Iterable, Optional, Tuple
+from typing import Any, Dict, Iterable, NamedTuple, Optional, Set, Tuple
 
 from repro.core import labelops
 from repro.core.chunks import ChunkedLabel, OpStats
@@ -101,10 +101,19 @@ from repro.core.labels import Label
 from repro.core.levels import STAR
 
 __all__ = [
+    "CheckPlan",
+    "EffectsPlan",
     "InternTable",
     "LabelOpCache",
+    "RaisePlan",
+    "apply_effects_tail",
+    "apply_raise_tail",
+    "check_plan",
+    "effects_plan",
     "global_intern_table",
     "label_fingerprint",
+    "overlay_stars",
+    "raise_plan",
     "DEFAULT_CACHE_SIZE",
 ]
 
@@ -279,6 +288,286 @@ _EFFECTS = 1
 _RAISE = 2
 
 
+class CheckPlan(NamedTuple):
+    """The ⋆-factored key and exec operands for one ``check_send``.
+
+    ``key`` is what a memo keys the verdict on; ``exec_ops`` is the exact
+    operand tuple :func:`repro.core.labelops.check_send` must run on when
+    the memo misses (⋆-stripped wherever a factoring applied, full
+    otherwise).  ``abstracted`` marks a T4 pin-abstracted key — such keys
+    are per-cache artifacts (they name fresh per-connection handles only
+    through their levels) and are never compiled into proofs.
+    """
+
+    key: Tuple[Any, ...]
+    exec_ops: Tuple[ChunkedLabel, ...]
+    abstracted: bool
+
+
+class EffectsPlan(NamedTuple):
+    """Key, exec operands, and overlay recipe for ``apply_send_effects``."""
+
+    key: Tuple[Any, ...]
+    exec_ops: Tuple[ChunkedLabel, ...]
+    qs: ChunkedLabel
+    qs_core: ChunkedLabel
+    grants: Optional[Set[int]]
+
+
+class RaisePlan(NamedTuple):
+    """Key, exec operands, and overlay recipe for ``raise_receive``."""
+
+    key: Tuple[Any, ...]
+    exec_ops: Tuple[ChunkedLabel, ...]
+    qr: ChunkedLabel
+    qr_core: ChunkedLabel
+    masked: Optional[Set[int]]
+
+
+def overlay_stars(
+    table: "InternTable",
+    core_result: ChunkedLabel,
+    source: ChunkedLabel,
+    skip: Optional[Set[int]] = None,
+    extra: Optional[Set[int]] = None,
+) -> ChunkedLabel:
+    """Write *source*'s explicit ``*`` entries back into a result that
+    was computed on its ⋆-free core (minus the handles in *skip*, where
+    the other operand legitimately overrode the star; plus the handles in
+    *extra* — capability grants the stripped operands could not express).
+
+    Deliberately billed to nobody (no OpStats): a kernel that adopted
+    the factored representation would *store* ``(core, star set)`` pairs
+    and maintain the star set in O(1) at grant/drop time — the
+    materialised union only exists so the simulation's labels stay
+    bit-comparable with the uncached kernel's (DESIGN.md §11).
+    """
+    stars = {
+        h: STAR
+        for h, lvl in source.iter_entries()
+        if lvl == STAR and (skip is None or h not in skip)
+    }
+    if extra is not None:
+        for h in extra:
+            stars[h] = STAR
+    return table.intern(labelops.sparse_update(core_result, stars, None))
+
+
+def check_plan(
+    table: "InternTable",
+    es: ChunkedLabel,
+    qr: ChunkedLabel,
+    dr: ChunkedLabel,
+    v: ChunkedLabel,
+    pr: ChunkedLabel,
+) -> CheckPlan:
+    """Plan one memoized ``ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR`` verdict.
+
+    Interns the operands and applies the T2 star-strip and T4 pin
+    abstraction from the module docstring.  Shared by the
+    :class:`LabelOpCache`, the proof compiler, and the kernel's
+    :class:`~repro.kernel.elide.VerifiedFlowTable`, so a key computed
+    offline names exactly the same verdict the live cache would.
+    """
+    intern = table.intern
+    es, qr, dr = intern(es), intern(qr), intern(dr)
+    v, pr = intern(v), intern(pr)
+    # T2: an ES entry at ⋆ always passes; stripping it reverts the
+    # handle to ES's default, which passes too iff the bound
+    # min(max(QR, DR), V, pR) stays ≥ that default at the handle.  So
+    # the verdict is a pure function of the ⋆-free ES whenever that
+    # holds at *every* ES star.  Tested by walking whichever side is
+    # smaller — the ES star set, or the explicit entries of the
+    # right-hand side plus one comparison at the defaults (the
+    # conservative variant).  A capability send against a pinned-low
+    # port label (pR(uC) = 0) genuinely depends on the ⋆ and fails
+    # both walks: it is checked exactly, uncached.
+    es_key = es          # key component for the ES position
+    exec_es = es         # what labelops runs on if we miss
+    pr_key: Any = pr.intern_id
+    abstracted = False
+    if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
+        e0 = es.default
+        qr_ok = min(qr.default, qr.explicit_min) >= e0
+        v_ok = min(v.default, v.explicit_min) >= e0
+        if qr_ok and v_ok and min(pr.default, pr.explicit_min) >= e0:
+            # Global gate: nothing on the right-hand side dips below
+            # ES's default anywhere, so every star strips (O(1)).
+            es_key = exec_es = table.star_core(es)
+        else:
+            core = table.star_core(es)
+            n_stars = len(es) - len(core)
+            if n_stars <= 16:
+                if all(
+                    lvl != STAR
+                    or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
+                    for h, lvl in es.iter_entries()
+                ):
+                    es_key = exec_es = core
+            elif len(qr) + len(dr) + len(v) + len(pr) <= _DISJOINT_LIMIT:
+                if e0 <= min(
+                    max(qr.default, dr.default), v.default, pr.default
+                ) and all(
+                    es(h) != STAR
+                    or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
+                    for label in (qr, dr, v, pr)
+                    for h, _ in label.iter_entries()
+                ):
+                    es_key = exec_es = core
+            if es_key is es and qr_ok and v_ok and pr.default >= e0 and len(pr) <= 8:
+                # T4: the capability send that T2 refuses.  When only
+                # pR's explicit entries can push the bound below ES's
+                # default, a low entry covered by a held ES star (the
+                # pinned-port pin, pR(uC) = 0 against ⋆(uC)) is exempt
+                # from the check and its fresh handle appears nowhere
+                # else the verdict can see — so the verdict is
+                # invariant under renaming it.  Key on pR with those
+                # pins abstracted to their bare levels (plus ES's
+                # core); the miss still computes on the exact full
+                # operands.
+                high = []
+                lows = []
+                for h, lvl in pr.iter_entries():
+                    if lvl < e0 and es(h) == STAR:
+                        lows.append(lvl)
+                    else:
+                        high.append((h, lvl))
+                if lows:
+                    es_key = core
+                    pr_key = (pr.default, tuple(high), tuple(sorted(lows)))
+                    abstracted = True
+    key = (
+        _CHECK,
+        es_key.intern_id,
+        qr.intern_id,
+        dr.intern_id,
+        v.intern_id,
+        pr_key,
+    )
+    return CheckPlan(key, (exec_es, qr, dr, v, pr), abstracted)
+
+
+def effects_plan(
+    table: "InternTable",
+    qs: ChunkedLabel,
+    es: ChunkedLabel,
+    ds: ChunkedLabel,
+) -> EffectsPlan:
+    """Plan one memoized ``QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS*)`` application."""
+    intern = table.intern
+    qs, es, ds = intern(qs), intern(es), intern(ds)
+    # T1: the receiver's ⋆ entries come back out as ⋆ no matter what
+    # ES and DS say there, so compute on the core and overlay.
+    qs_core = table.star_core(qs)
+    # ES's ⋆ entries are inert too, provided reverting each ⋆ handle
+    # to ES's default changes nothing pointwise: at a handle h with
+    # ES(h) = *, stripped-vs-full agree iff QS(h) = * (immunity) or
+    # ES's default would contaminate past min(QS(h), DS(h)) anyway.
+    # The one other case — DS(h) = * too, the capability *grant*,
+    # where the full op yields * but the stripped one would
+    # contaminate — is factored out instead: the handle joins the
+    # star overlay, and the stripped computation runs on what is
+    # usually an empty core.  Tested at the defaults for the
+    # implicit handles and pointwise at every explicit entry of QS°
+    # and DS.
+    es_key = es
+    grants: Optional[Set[int]] = None
+    if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
+        e0 = es.default
+        safe = qs.default == STAR or e0 <= min(qs.default, ds.default)
+        if safe and len(qs_core) + len(ds) <= _DISJOINT_LIMIT:
+            ok = True
+            for label in (qs_core, ds):
+                for h, _ in label.iter_entries():
+                    if es(h) != STAR or qs(h) == STAR:
+                        continue
+                    if ds(h) == STAR:
+                        if grants is None:
+                            grants = set()
+                        grants.add(h)
+                    elif e0 > min(qs(h), ds(h)):
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if ok:
+                es_key = table.star_core(es)
+            else:
+                grants = None
+    key = (_EFFECTS, qs_core.intern_id, es_key.intern_id, ds.intern_id)
+    return EffectsPlan(key, (qs_core, es_key, ds), qs, qs_core, grants)
+
+
+def raise_plan(
+    table: "InternTable",
+    qr: ChunkedLabel,
+    dr: ChunkedLabel,
+) -> RaisePlan:
+    """Plan one memoized ``QR ⊔ DR`` application."""
+    intern = table.intern
+    qr, dr = intern(qr), intern(dr)
+    # T3: QR's ⋆ entries survive the ⊔ verbatim (max(*, DR(h)) = * when
+    # DR is * there) and can be overlaid back, provided DR's default is
+    # *.  A DR explicit entry *on* a QR star is still fine when it is
+    # ≥ QR's default: there the full join yields DR(h), and the core
+    # join max(QR.default, DR(h)) reproduces exactly that — the overlay
+    # just has to skip the handle instead of forcing it back to ⋆ (this
+    # is how a contamination raise punches through a held capability,
+    # e.g. netd's ES picking up a taint it holds the ⋆ for).  DR stays
+    # exact in the key: dropping one of *its* ⋆ entries would revert
+    # that handle to DR's default, which is a different join whenever
+    # the default exceeds QR at the handle.
+    qr_core = qr
+    masked: Optional[Set[int]] = None
+    if (
+        qr.level_mask & 1
+        and qr.default != STAR
+        and dr.default == STAR
+        and len(dr) <= _DISJOINT_LIMIT
+    ):
+        q0 = qr.default
+        ok = True
+        for h, lvl in dr.iter_entries():
+            if qr(h) == STAR:
+                if lvl >= q0:
+                    if masked is None:
+                        masked = set()
+                    masked.add(h)
+                else:
+                    ok = False
+                    break
+        if ok:
+            qr_core = table.star_core(qr)
+        else:
+            masked = None
+    key = (_RAISE, qr_core.intern_id, dr.intern_id)
+    return RaisePlan(key, (qr_core, dr), qr, qr_core, masked)
+
+
+def apply_effects_tail(
+    table: "InternTable", plan: EffectsPlan, core_result: ChunkedLabel
+) -> ChunkedLabel:
+    """Rebuild the full ``apply_send_effects`` result from its core."""
+    if plan.grants is None:
+        if plan.qs_core is plan.qs:
+            return core_result
+        if core_result is plan.qs_core:
+            # Identity effect on the core ⇒ identity on the full label.
+            return plan.qs
+    return overlay_stars(table, core_result, plan.qs, None, plan.grants)
+
+
+def apply_raise_tail(
+    table: "InternTable", plan: RaisePlan, core_result: ChunkedLabel
+) -> ChunkedLabel:
+    """Rebuild the full ``raise_receive`` result from its core."""
+    if plan.qr_core is plan.qr:
+        return core_result
+    if plan.masked is None and core_result is plan.qr_core:
+        return plan.qr
+    return overlay_stars(table, core_result, plan.qr, plan.masked)
+
+
 class LabelOpCache:
     """Bounded LRU memo for the three Figure 4 hot operations.
 
@@ -354,36 +643,12 @@ class LabelOpCache:
             self._memo.popitem(last=False)
             self.evictions += 1
 
-    def _overlay(
-        self,
-        core_result: ChunkedLabel,
-        source: ChunkedLabel,
-        skip: Optional[set] = None,
-        extra: Optional[set] = None,
-    ) -> ChunkedLabel:
-        """Write *source*'s explicit ``*`` entries back into a result that
-        was computed on its ⋆-free core (minus the handles in *skip*,
-        where the other operand legitimately overrode the star; plus the
-        handles in *extra* — capability grants the stripped operands
-        could not express).
-
-        Deliberately billed to nobody (no OpStats): a kernel that adopted
-        the factored representation would *store* ``(core, star set)``
-        pairs and maintain the star set in O(1) at grant/drop time — the
-        materialised union only exists so the simulation's labels stay
-        bit-comparable with the uncached kernel's (DESIGN.md §11).
-        """
-        stars = {
-            h: STAR
-            for h, lvl in source.iter_entries()
-            if lvl == STAR and (skip is None or h not in skip)
-        }
-        if extra is not None:
-            for h in extra:
-                stars[h] = STAR
-        return self.table.intern(labelops.sparse_update(core_result, stars, None))
-
     # -- the three Figure 4 hot operations ------------------------------------
+    #
+    # Each method delegates its ⋆-factored key construction to the
+    # module-level plan helpers (shared with the proof compiler and the
+    # kernel's VerifiedFlowTable), probes the LRU, and on a miss runs the
+    # reference operation on the plan's exec operands.
 
     def check_send(
         self,
@@ -395,85 +660,13 @@ class LabelOpCache:
         stats: Optional[OpStats] = None,
     ) -> Tuple[bool, bool]:
         """Memoized ``ES ⊑ (QR ⊔ DR) ⊓ V ⊓ pR`` verdict."""
-        intern = self.table.intern
-        es, qr, dr = intern(es), intern(qr), intern(dr)
-        v, pr = intern(v), intern(pr)
-        # T2: an ES entry at ⋆ always passes; stripping it reverts the
-        # handle to ES's default, which passes too iff the bound
-        # min(max(QR, DR), V, pR) stays ≥ that default at the handle.  So
-        # the verdict is a pure function of the ⋆-free ES whenever that
-        # holds at *every* ES star.  Tested by walking whichever side is
-        # smaller — the ES star set, or the explicit entries of the
-        # right-hand side plus one comparison at the defaults (the
-        # conservative variant).  A capability send against a pinned-low
-        # port label (pR(uC) = 0) genuinely depends on the ⋆ and fails
-        # both walks: it is checked exactly, uncached.
-        es_key = es          # key component for the ES position
-        exec_es = es         # what labelops runs on if we miss
-        pr_key: Any = pr.intern_id
-        if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
-            e0 = es.default
-            qr_ok = min(qr.default, qr.explicit_min) >= e0
-            v_ok = min(v.default, v.explicit_min) >= e0
-            if qr_ok and v_ok and min(pr.default, pr.explicit_min) >= e0:
-                # Global gate: nothing on the right-hand side dips below
-                # ES's default anywhere, so every star strips (O(1)).
-                es_key = exec_es = self.table.star_core(es)
-            else:
-                core = self.table.star_core(es)
-                n_stars = len(es) - len(core)
-                if n_stars <= 16:
-                    if all(
-                        lvl != STAR
-                        or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
-                        for h, lvl in es.iter_entries()
-                    ):
-                        es_key = exec_es = core
-                elif len(qr) + len(dr) + len(v) + len(pr) <= _DISJOINT_LIMIT:
-                    if e0 <= min(
-                        max(qr.default, dr.default), v.default, pr.default
-                    ) and all(
-                        es(h) != STAR
-                        or e0 <= min(max(qr(h), dr(h)), v(h), pr(h))
-                        for label in (qr, dr, v, pr)
-                        for h, _ in label.iter_entries()
-                    ):
-                        es_key = exec_es = core
-                if es_key is es and qr_ok and v_ok and pr.default >= e0 and len(pr) <= 8:
-                    # T4: the capability send that T2 refuses.  When only
-                    # pR's explicit entries can push the bound below ES's
-                    # default, a low entry covered by a held ES star (the
-                    # pinned-port pin, pR(uC) = 0 against ⋆(uC)) is exempt
-                    # from the check and its fresh handle appears nowhere
-                    # else the verdict can see — so the verdict is
-                    # invariant under renaming it.  Key on pR with those
-                    # pins abstracted to their bare levels (plus ES's
-                    # core); the miss still computes on the exact full
-                    # operands.
-                    high = []
-                    lows = []
-                    for h, lvl in pr.iter_entries():
-                        if lvl < e0 and es(h) == STAR:
-                            lows.append(lvl)
-                        else:
-                            high.append((h, lvl))
-                    if lows:
-                        es_key = core
-                        pr_key = (pr.default, tuple(high), tuple(sorted(lows)))
-        key = (
-            _CHECK,
-            es_key.intern_id,
-            qr.intern_id,
-            dr.intern_id,
-            v.intern_id,
-            pr_key,
-        )
-        got = self._probe(key)
+        plan = check_plan(self.table, es, qr, dr, v, pr)
+        got = self._probe(plan.key)
         if got is not _MISSING:
             return got, True
-        verdict = labelops.check_send(exec_es, qr, dr, v, pr, stats)
-        self._store(key, verdict)
-        self.last_executed = (exec_es, qr, dr, v, pr)
+        verdict = labelops.check_send(*plan.exec_ops, stats)
+        self._store(plan.key, verdict)
+        self.last_executed = plan.exec_ops
         return verdict, False
 
     def apply_send_effects(
@@ -484,62 +677,18 @@ class LabelOpCache:
         stats: Optional[OpStats] = None,
     ) -> Tuple[ChunkedLabel, bool]:
         """Memoized ``QS ← (QS ⊓ DS) ⊔ (ES ⊓ QS*)`` result (canonical)."""
-        intern = self.table.intern
-        qs, es, ds = intern(qs), intern(es), intern(ds)
-        # T1: the receiver's ⋆ entries come back out as ⋆ no matter what
-        # ES and DS say there, so compute on the core and overlay.
-        qs_core = self.table.star_core(qs)
-        # ES's ⋆ entries are inert too, provided reverting each ⋆ handle
-        # to ES's default changes nothing pointwise: at a handle h with
-        # ES(h) = *, stripped-vs-full agree iff QS(h) = * (immunity) or
-        # ES's default would contaminate past min(QS(h), DS(h)) anyway.
-        # The one other case — DS(h) = * too, the capability *grant*,
-        # where the full op yields * but the stripped one would
-        # contaminate — is factored out instead: the handle joins the
-        # star overlay, and the stripped computation runs on what is
-        # usually an empty core.  Tested at the defaults for the
-        # implicit handles and pointwise at every explicit entry of QS°
-        # and DS.
-        es_key = es
-        grants: Optional[set] = None
-        if es.level_mask & 1 and es.default != STAR:  # bit 0 == STAR present
-            e0 = es.default
-            safe = qs.default == STAR or e0 <= min(qs.default, ds.default)
-            if safe and len(qs_core) + len(ds) <= _DISJOINT_LIMIT:
-                ok = True
-                for label in (qs_core, ds):
-                    for h, _ in label.iter_entries():
-                        if es(h) != STAR or qs(h) == STAR:
-                            continue
-                        if ds(h) == STAR:
-                            if grants is None:
-                                grants = set()
-                            grants.add(h)
-                        elif e0 > min(qs(h), ds(h)):
-                            ok = False
-                            break
-                    if not ok:
-                        break
-                if ok:
-                    es_key = self.table.star_core(es)
-                else:
-                    grants = None
-        key = (_EFFECTS, qs_core.intern_id, es_key.intern_id, ds.intern_id)
-        got = self._probe(key)
+        plan = effects_plan(self.table, qs, es, ds)
+        got = self._probe(plan.key)
         if got is not _MISSING:
             core_result, hit = got, True
         else:
-            core_result = intern(labelops.apply_send_effects(qs_core, es_key, ds, stats))
-            self._store(key, core_result)
-            self.last_executed = (qs_core, es_key, ds)
+            core_result = self.table.intern(
+                labelops.apply_send_effects(*plan.exec_ops, stats)
+            )
+            self._store(plan.key, core_result)
+            self.last_executed = plan.exec_ops
             hit = False
-        if grants is None:
-            if qs_core is qs:
-                return core_result, hit
-            if core_result is qs_core:
-                # Identity effect on the core ⇒ identity on the full label.
-                return qs, hit
-        return self._overlay(core_result, qs, None, grants), hit
+        return apply_effects_tail(self.table, plan, core_result), hit
 
     def raise_receive(
         self,
@@ -552,53 +701,15 @@ class LabelOpCache:
         Also serves ``ES = PS ⊔ CS`` at send time — the same ⊔, with PS
         in the QR position carrying the sender's ``*`` capabilities.
         """
-        intern = self.table.intern
-        qr, dr = intern(qr), intern(dr)
-        # T3: QR's ⋆ entries survive the ⊔ verbatim (max(*, DR(h)) = * when
-        # DR is * there) and can be overlaid back, provided DR's default is
-        # *.  A DR explicit entry *on* a QR star is still fine when it is
-        # ≥ QR's default: there the full join yields DR(h), and the core
-        # join max(QR.default, DR(h)) reproduces exactly that — the overlay
-        # just has to skip the handle instead of forcing it back to ⋆ (this
-        # is how a contamination raise punches through a held capability,
-        # e.g. netd's ES picking up a taint it holds the ⋆ for).  DR stays
-        # exact in the key: dropping one of *its* ⋆ entries would revert
-        # that handle to DR's default, which is a different join whenever
-        # the default exceeds QR at the handle.
-        qr_core = qr
-        masked: Optional[set] = None
-        if (
-            qr.level_mask & 1
-            and qr.default != STAR
-            and dr.default == STAR
-            and len(dr) <= _DISJOINT_LIMIT
-        ):
-            q0 = qr.default
-            ok = True
-            for h, lvl in dr.iter_entries():
-                if qr(h) == STAR:
-                    if lvl >= q0:
-                        if masked is None:
-                            masked = set()
-                        masked.add(h)
-                    else:
-                        ok = False
-                        break
-            if ok:
-                qr_core = self.table.star_core(qr)
-            else:
-                masked = None
-        key = (_RAISE, qr_core.intern_id, dr.intern_id)
-        got = self._probe(key)
+        plan = raise_plan(self.table, qr, dr)
+        got = self._probe(plan.key)
         if got is not _MISSING:
             core_result, hit = got, True
         else:
-            core_result = intern(labelops.raise_receive(qr_core, dr, stats))
-            self._store(key, core_result)
-            self.last_executed = (qr_core, dr)
+            core_result = self.table.intern(
+                labelops.raise_receive(*plan.exec_ops, stats)
+            )
+            self._store(plan.key, core_result)
+            self.last_executed = plan.exec_ops
             hit = False
-        if qr_core is qr:
-            return core_result, hit
-        if masked is None and core_result is qr_core:
-            return qr, hit
-        return self._overlay(core_result, qr, masked), hit
+        return apply_raise_tail(self.table, plan, core_result), hit

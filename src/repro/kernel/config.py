@@ -27,6 +27,8 @@ Environment variables (all optional; explicit arguments win):
 ``REPRO_STORE``           path to ok-dbproxy's ``wal/v1`` store file
 ``REPRO_INTERN_LABELS``   hash-cons labels + memoize Figure 4 hot ops
 ``REPRO_LABELOP_CACHE``   bound on the label-op cache (entries)
+``REPRO_ELIDE``           consult verified-flow proofs to elide checks
+``REPRO_PROOFS``          path to the ``proofs/v1`` document to load
 ======================== ==============================================
 """
 
@@ -115,7 +117,15 @@ class KernelConfig:
       :class:`~repro.core.interning.InternTable` and memoizes the three
       Figure 4 hot operations in a bounded LRU
       :class:`~repro.core.interning.LabelOpCache` of
-      ``labelop_cache_size`` entries.
+      ``labelop_cache_size`` entries;
+    - proof-guided check elision (DESIGN.md §15): ``elide_checks`` loads
+      the ``proofs/v1`` document at ``proof_path`` into a
+      :class:`~repro.kernel.elide.VerifiedFlowTable` consulted before
+      ``check_send``/``raise_receive`` — a proven, still-valid edge
+      skips the full Figure 4 check and applies the precomputed effect
+      cores; implies the interning machinery (the stub keys are
+      intern-id tuples).  ``elide_checks`` without a ``proof_path`` is
+      valid and simply never hits (an empty table).
     """
 
     ram_bytes: Optional[int] = None
@@ -133,6 +143,8 @@ class KernelConfig:
     store_path: Optional[str] = None
     intern_labels: bool = False
     labelop_cache_size: int = 4096
+    elide_checks: bool = False
+    proof_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.label_cost_mode not in LABEL_COST_MODES:
@@ -211,6 +223,12 @@ class KernelConfig:
         cache_size = _env_int(env, "REPRO_LABELOP_CACHE")
         if cache_size is not None:
             values["labelop_cache_size"] = cache_size
+        elide = _env_bool(env, "REPRO_ELIDE")
+        if elide is not None:
+            values["elide_checks"] = elide
+        proof_path = env.get("REPRO_PROOFS", "").strip()
+        if proof_path:
+            values["proof_path"] = proof_path
         for key, value in overrides.items():
             if value is None and key not in ("ram_bytes",):
                 continue  # "unset": keep the env/default resolution

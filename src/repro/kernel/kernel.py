@@ -29,7 +29,19 @@ from __future__ import annotations
 
 import heapq
 import warnings
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Optional,
+    Tuple,
+    TYPE_CHECKING,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.elide import DeliverHit
 
 from repro.core import labelops
 from repro.core.chunks import ChunkedLabel, OpStats, shared_memory_bytes
@@ -254,6 +266,12 @@ class Kernel:
         self._m_spawns = procs.counter("spawned")
         self._m_ep_created = procs.counter("ep_created")
         self._m_ep_switches = procs.counter("ep_switched")
+        elide = self.metrics.scope("kernel.elide")
+        self._m_elide_deliver_hits = elide.counter("deliver_stub_hits")
+        self._m_elide_send_hits = elide.counter("send_stub_hits")
+        self._m_elide_invalidations = elide.counter("invalidations")
+        self._m_elide_batch_drains = elide.counter("batch_drains")
+        self._m_elide_batched = elide.counter("batched_messages")
 
         # -- interned-label fast path (repro.core.interning) -----------------
         # Labels are hash-consed through the process-wide intern table and
@@ -263,7 +281,7 @@ class Kernel:
         self.intern_table = None
         self.labelop_cache = None
         self._cache_evictions_seen = 0
-        if config.intern_labels:
+        if config.intern_labels or config.elide_checks:
             from repro.core.interning import LabelOpCache, global_intern_table
 
             self.intern_table = global_intern_table()
@@ -272,6 +290,22 @@ class Kernel:
             )
             self.intern_table.intern(_BOTTOM)
             self.intern_table.intern(_TOP)
+
+        # -- proof-guided check elision (repro.kernel.elide, DESIGN.md §15) --
+        # A loaded proofs/v1 table of asbcheck-proven always-allowed edges;
+        # delivery and send probe it before running the Figure 4 machinery.
+        # elide_checks without a proof_path is a kernel that probes nothing
+        # (flow_table stays None) — the configuration is valid so REPRO_ELIDE
+        # can sweep a whole test suite whether or not proofs exist.
+        self.flow_table = None
+        self._elide_drains_seen = 0
+        self._elide_batched_seen = 0
+        if config.elide_checks and config.proof_path:
+            from repro.kernel.elide import VerifiedFlowTable
+
+            self.flow_table = VerifiedFlowTable.load(
+                config.proof_path, self.intern_table
+            )
 
         # Differential label sanitizer (repro.analysis): opt in per kernel
         # via KernelConfig(sanitize=True), or globally via REPRO_SANITIZE=1
@@ -432,6 +466,7 @@ class Kernel:
             v=self._intern(v),
             dr=self._intern(dr),
             sender_name=sender_name,
+            external=True,
         )
 
     # -- the run loop ----------------------------------------------------------------
@@ -771,24 +806,52 @@ class Kernel:
         # always models their len(ds)+len(dr) entries; only the ⊔'s own
         # cost is skipped on a cache hit.
         modeled = 0
+        es = None
         cache = self.labelop_cache
-        if cache is not None:
+        table = self.flow_table
+        if table is not None and table.valid and cache is not None:
+            # Verified-flow send stub: asbcheck proved ES = PS ⊔ CS for
+            # these exact operand values, so the join is one flat probe.
+            # The requirement (2)/(3) scans below still run live — they
+            # guard the decontamination privilege, not the proven join.
             ps = task.send_label = self._intern(ps)
-            es, hit = cache.raise_receive(ps, cs, stats)
-            self._note_cache(hit)
-            if self.label_cost_mode == "paper":
-                modeled = len(ds) + len(dr)
-                if not hit:
-                    # Bill the operation that ran: the ⋆-factored fast
-                    # path computes on the stripped cores, and the model
-                    # charges for those scans, not the full labels.
-                    modeled += labelops.paper_cost_raise_receive(*cache.last_executed)
-        else:
-            if self.label_cost_mode == "paper":
-                modeled = labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
-            es = labelops.raise_receive(ps, cs, stats)
+            es = table.plan_send(ps, cs)
+            if es is not None:
+                self.clock.charge(KERNEL_IPC, self.clock.cost.elide_stub_hit)
+                if self._obs:
+                    self._m_elide_send_hits.inc()
+                if self.label_cost_mode == "paper":
+                    modeled = len(ds) + len(dr)
+        elided = es is not None
+        if not elided:
+            if cache is not None:
+                ps = task.send_label = self._intern(ps)
+                es, hit = cache.raise_receive(ps, cs, stats)
+                self._note_cache(hit)
+                if self.label_cost_mode == "paper":
+                    modeled = len(ds) + len(dr)
+                    if not hit:
+                        # Bill the operation that ran: the ⋆-factored fast
+                        # path computes on the stripped cores, and the model
+                        # charges for those scans, not the full labels.
+                        modeled += labelops.paper_cost_raise_receive(
+                            *cache.last_executed
+                        )
+            else:
+                if self.label_cost_mode == "paper":
+                    modeled = (
+                        labelops.paper_cost_raise_receive(ps, cs) + len(ds) + len(dr)
+                    )
+                es = labelops.raise_receive(ps, cs, stats)
         if self.sanitizer is not None and self._sanitize_due():
-            self.sanitizer.check_effective_send(task.name, request.port, ps, cs, es)
+            seen = len(self.sanitizer.violations)
+            try:
+                self.sanitizer.check_effective_send(task.name, request.port, ps, cs, es)
+            finally:
+                if elided and len(self.sanitizer.violations) > seen:
+                    table.quarantine(  # type: ignore[union-attr]
+                        f"elided send diverged on {request.port:#x}"
+                    )
 
         ok = True
         # Requirement (2): DS(h) < 3 requires PS(h) = ⋆.
@@ -820,6 +883,13 @@ class Kernel:
         for handle in transfer:
             if handle not in task.owned_ports:
                 raise NotOwner(f"transfer of unowned port {handle:#x}")
+        if transfer and self.flow_table is not None and self.flow_table.valid:
+            # Port passage: a covered port changing hands is a topology
+            # change the proofs assumed away — quarantine them.
+            for handle in transfer:
+                if self.flow_table.covers_port(handle):
+                    self._proofs_invalidate(f"port passage {handle:#x}")
+                    break
         for handle in transfer:
             task.owned_ports.discard(handle)
             task.ready_ports.discard(handle)
@@ -849,6 +919,7 @@ class Kernel:
         sender_name: str,
         transfer: Tuple[Handle, ...] = (),
         fault_exempt: bool = False,
+        external: bool = False,
     ) -> bool:
         if self.faults is not None and not fault_exempt:
             action = self.faults.on_send(sender_name, port, self._steps)
@@ -871,6 +942,7 @@ class Kernel:
                         dr=dr,
                         sender_name=sender_name,
                         transfer=transfer,
+                        external=external,
                     ),
                 )
                 return True
@@ -921,6 +993,7 @@ class Kernel:
             sender_name=sender_name,
             payload_bytes=_payload_bytes(payload),
             transfer=transfer,
+            external=external,
         )
         if self.faults is not None:
             squeeze = self.faults.queue_limit(sender_name, port, self._steps)
@@ -988,17 +1061,81 @@ class Kernel:
     def _try_deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
         """Run the delivery-time checks against *task*; apply effects and
         return True, or record the drop and return False."""
-        if self.sanitizer is None or not self._sanitize_due():
-            delivered = self._deliver(task, entry, qmsg)
+        hit = self._plan_elided(task, entry, qmsg)
+        if self.sanitizer is None or not (
+            self._sanitize_due() or (hit is not None and hit.first_use)
+        ):
+            delivered = self._deliver(task, entry, qmsg, hit)
         else:
+            # Sampled differential replay — and *forced* on the first use
+            # of every distinct verified-flow stub, so a corrupted effect
+            # delta is flagged before it can repeat.  A violation on an
+            # elided delivery quarantines the whole table: fail closed to
+            # the full Figure 4 path for the rest of the run.
             snapshot = self.sanitizer.before_deliver(task, entry, qmsg)
-            delivered = self._deliver(task, entry, qmsg)
-            self.sanitizer.after_deliver(task, entry, qmsg, delivered, snapshot)
+            delivered = self._deliver(task, entry, qmsg, hit)
+            seen = len(self.sanitizer.violations)
+            try:
+                self.sanitizer.after_deliver(task, entry, qmsg, delivered, snapshot)
+            finally:
+                if hit is not None and len(self.sanitizer.violations) > seen:
+                    self.flow_table.quarantine(  # type: ignore[union-attr]
+                        f"elided delivery diverged on {hit.key[0]:#x}"
+                    )
         if self.hooks:
             self._hook("on_deliver", task, entry, qmsg, delivered)
         return delivered
 
-    def _deliver(self, task: Task, entry: Port, qmsg: QueuedMessage) -> bool:
+    def _plan_elided(
+        self, task: Task, entry: Port, qmsg: QueuedMessage
+    ) -> Optional["DeliverHit"]:
+        """Probe the verified-flow table for this delivery (None = miss).
+
+        Transfer-bearing messages never elide (receive-right passage is a
+        topology change the proofs cannot speak to), and neither does
+        cross-shard ingress (``qmsg.external``): proofs are per-shard, and
+        a peer's labels must take the full checked path.
+        """
+        table = self.flow_table
+        if (
+            table is None
+            or not table.valid
+            or qmsg.transfer
+            or qmsg.external
+        ):
+            return None
+        intern = self.intern_table.intern  # type: ignore[union-attr]
+        es = intern(qmsg.effective_send)
+        ds = intern(qmsg.decontaminate_send)
+        v = intern(qmsg.verify)
+        dr = intern(qmsg.decontaminate_receive)
+        pl = entry.label = intern(entry.label)
+        qr = task.receive_label = intern(task.receive_label)
+        qs = task.send_label = intern(task.send_label)
+        hit = table.plan_deliver(entry.handle, es, pl, qr, v, dr, qs, ds)
+        if hit is not None and self._obs:
+            self._m_elide_deliver_hits.inc()
+            if table.batch_drains != self._elide_drains_seen:
+                self._m_elide_batch_drains.inc(
+                    table.batch_drains - self._elide_drains_seen
+                )
+                self._elide_drains_seen = table.batch_drains
+            if table.batched_messages != self._elide_batched_seen:
+                self._m_elide_batched.inc(
+                    table.batched_messages - self._elide_batched_seen
+                )
+                self._elide_batched_seen = table.batched_messages
+        return hit
+
+    def _deliver(
+        self,
+        task: Task,
+        entry: Port,
+        qmsg: QueuedMessage,
+        hit: Optional["DeliverHit"] = None,
+    ) -> bool:
+        if hit is not None:
+            return self._deliver_elided(task, entry, qmsg, hit)
         stats = OpStats()
         self.clock.charge(KERNEL_IPC, self.clock.cost.recv_base)
         paper = self.label_cost_mode == "paper"
@@ -1116,6 +1253,33 @@ class Kernel:
             )
         return True
 
+    def _deliver_elided(
+        self, task: Task, entry: Port, qmsg: QueuedMessage, hit: "DeliverHit"
+    ) -> bool:
+        """Verified-flow fastpath: asbcheck proved this exact delivery.
+
+        The stub key matched the live operand values, so requirement (4),
+        requirement (1) and both label effects are already decided — the
+        kernel applies the precomputed post-labels and bills the fastpath
+        delivery base plus one flat stub probe, seL4-fastpath style
+        (DESIGN.md §15).  Transfer-bearing messages never reach here
+        (:meth:`_plan_elided` excludes them), so there is no rights
+        landing to perform.
+        """
+        cost = self.clock.cost
+        self.clock.charge(
+            KERNEL_IPC, cost.elide_deliver_base + cost.elide_stub_hit
+        )
+        task.send_label = hit.new_qs
+        task.receive_label = hit.new_qr
+        if self._obs:
+            self._m_delivered.inc()
+        if self.spans is not None:
+            self.spans.async_end(
+                "msg", qmsg.seq, self.clock.now, delivered=True, receiver=task.name
+            )
+        return True
+
     def _charge_label_work(self, stats: OpStats, modeled_entries: int = 0) -> None:
         """Charge KERNEL_IPC for label work.
 
@@ -1169,6 +1333,21 @@ class Kernel:
             if evictions != self._cache_evictions_seen:
                 self._m_cache_evictions.inc(evictions - self._cache_evictions_seen)
                 self._cache_evictions_seen = evictions
+
+    def _proofs_invalidate(self, reason: str) -> None:
+        """A system-level event made the loaded proofs' worldview stale.
+
+        Bumps the verified-flow epoch, which quarantines the whole table
+        for the rest of the run (DESIGN.md §15): every later delivery
+        falls back to the PR 5 interned path.  Idempotent once invalid.
+        """
+        table = self.flow_table
+        if table is None or not table.valid:
+            return
+        table.invalidate(reason)
+        if self._obs:
+            self._m_elide_invalidations.inc()
+        self.debug_log("elide", f"proofs invalidated: {reason}")
 
     # -- recv --------------------------------------------------------------------------------
 
@@ -1279,12 +1458,48 @@ class Kernel:
         if entry is None or request.port not in task.owned_ports:
             raise NotOwner(f"set_port_label: port {request.port:#x} not owned")
         # Unlike new_port, the input is used verbatim (Section 5.5).
-        entry.label = self._intern(ChunkedLabel.from_label(request.label))
+        new_label = self._intern(ChunkedLabel.from_label(request.label))
+        if (
+            self.flow_table is not None
+            and self.flow_table.covers_port(request.port)
+            and not self.flow_table.port_label_assumed(request.port, new_label)
+        ):
+            # Rewriting a covered port's label *outside the values the
+            # proofs assumed* invalidates them; rewriting it to an
+            # assumed value (boot-time bring-up replaying the recorded
+            # world) is exactly what the proofs describe and keeps them.
+            self._proofs_invalidate(f"set_port_label {request.port:#x}")
+        entry.label = new_label
         if self.hooks:
             self._hook("on_port_touch", task, request.port)
         return True
 
     def _sys_change_label(self, task: Task, request: sc.ChangeLabel) -> bool:
+        table = self.flow_table
+        watch = (
+            table is not None and table.valid and table.covers_task(task.name)
+        )
+        if watch:
+            # Proofs only assumed the label values the exploration saw;
+            # a covered task writing its labels *outside* that set is an
+            # invalidating event (writes inside it — e.g. reasserting the
+            # fixed point — are exactly what the proofs describe).
+            old_send_assumed = table.core_assumed(task.name, task.send_label)
+            old_recv_assumed = table.core_assumed(task.name, task.receive_label)
+        try:
+            return self._change_label_checked(task, request)
+        finally:
+            if watch and table.valid:
+                if (
+                    old_send_assumed
+                    and not table.core_assumed(task.name, task.send_label)
+                ) or (
+                    old_recv_assumed
+                    and not table.core_assumed(task.name, task.receive_label)
+                ):
+                    self._proofs_invalidate(f"change_label {task.name}")
+
+    def _change_label_checked(self, task: Task, request: sc.ChangeLabel) -> bool:
         stats = OpStats()
         if request.drop_send:
             updates = {}
@@ -1369,6 +1584,16 @@ class Kernel:
             raise SimulationError("ep_checkpoint from inside an event process")
         if task.event_body is not None:
             raise SimulationError("ep_checkpoint called twice")
+        if (
+            self.flow_table is not None
+            and self.flow_table.covers_task(task.name)
+            and not self.flow_table.expected_realm(task.name)
+        ):
+            # A covered task becoming an EP realm the proofs did not
+            # observe is a topology change; realms the proofs expected
+            # (their fork-marked ports) are the normal EP mechanism and
+            # do not bump.
+            self._proofs_invalidate(f"ep_checkpoint {task.name}")
         task.event_body = request.event_body
         task.state = TaskState.EP_REALM
         task.gen = None  # the base process never runs again (Section 6.1)
@@ -1550,6 +1775,10 @@ class Kernel:
         entry = self.ports.get(handle)
         if entry is None:
             return
+        # A covered port dying needs no proof invalidation: handle values
+        # never repeat within a boot (the allocator is a cipher over a
+        # monotonic counter), so no future delivery can ever probe this
+        # port's stubs again — the dead edge simply stops being exercised.
         entry.dissociate()
         vnode = self.vnodes.get(handle)
         if vnode is not None:

@@ -88,3 +88,58 @@ def test_validate_files_reports_bad_json(tmp_path):
     bad.write_text("{not json")
     results = bench.validate_files([str(bad)])
     assert results[str(bad)]
+
+
+# -- guard_files: one-sided in the *good* direction, per series unit ----------
+
+
+def _guard_pair(tmp_path, name, base_series, fresh_series):
+    """Write a baseline doc and a fresh doc and run the guard on them."""
+
+    def doc(series):
+        d = _minimal_doc()
+        d["series"] = series
+        return d
+
+    base = tmp_path / name
+    fresh_dir = tmp_path / "fresh"
+    fresh_dir.mkdir(exist_ok=True)
+    base.write_text(json.dumps(doc(base_series)))
+    (fresh_dir / name).write_text(json.dumps(doc(fresh_series)))
+    return bench.guard_files([str(base)], str(fresh_dir), tolerance=0.02)
+
+
+def test_guard_catches_labelops_slowdown(tmp_path):
+    """A label-op cost regression in BENCH_labelops.json must fail the
+    guard: cost units get a ceiling, so a slowdown can't land silently."""
+    base = {"kernel_ipc": {"x": [50, 200], "y": [212.1, 220.7], "unit": "Kcycles/conn"}}
+    slower = {"kernel_ipc": {"x": [50, 200], "y": [212.1, 260.0], "unit": "Kcycles/conn"}}
+    problems = _guard_pair(tmp_path, "BENCH_labelops.json", base, slower)
+    assert len(problems) == 1
+    assert "kernel_ipc@x=200" in problems[0]
+
+
+def test_guard_never_fails_a_cost_improvement(tmp_path):
+    """The old floor guard rewarded slowdowns and punished improvements
+    on cost series; pin the flipped direction."""
+    base = {"lat": {"x": [1], "y": [100.0], "unit": "us"}}
+    faster = {"lat": {"x": [1], "y": [40.0], "unit": "us"}}
+    assert _guard_pair(tmp_path, "BENCH_labelops.json", base, faster) == []
+
+
+def test_guard_keeps_the_floor_for_benefit_series(tmp_path):
+    base = {"tput": {"x": [1, 2], "y": [100.0, 200.0], "unit": "conn/s"}}
+    slower = {"tput": {"x": [1, 2], "y": [100.0, 150.0], "unit": "conn/s"}}
+    problems = _guard_pair(tmp_path, "BENCH_fig7.json", base, slower)
+    assert len(problems) == 1
+    assert "tput@x=2" in problems[0]
+    faster = {"tput": {"x": [1, 2], "y": [110.0, 300.0], "unit": "conn/s"}}
+    assert _guard_pair(tmp_path, "BENCH_fig7.json", base, faster) == []
+
+
+def test_guard_flags_missing_series_and_grid_changes(tmp_path):
+    base = {"a": {"x": [1], "y": [1.0], "unit": "x"}, "b": {"x": [1], "y": [1.0], "unit": "x"}}
+    fresh = {"a": {"x": [1, 2], "y": [1.0, 1.0], "unit": "x"}}
+    problems = _guard_pair(tmp_path, "BENCH_fig7.json", base, fresh)
+    assert any("x-grid changed" in p for p in problems)
+    assert any("missing from fresh run" in p for p in problems)

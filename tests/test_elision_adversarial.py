@@ -1,0 +1,355 @@
+"""Adversarial suite for proof-guided check elision: corrupted, stale and
+wrong-topology proofs must be *detected* and the kernel must fail closed.
+
+The verified-flow table trusts nothing in the document beyond what
+content addressing pins (:mod:`repro.analysis.proofs`): a stub can only
+hit when the live operand intern ids equal the proof's, and the claimed
+effect cores are re-derived by the sanitizer on every stub key's first
+use.  This suite attacks each layer:
+
+* a forged label body (content hash mismatch) or dangling reference is
+  rejected at load time;
+* a *well-formed* document whose effect delta was swapped for a valid
+  but wrong label passes the loader — and is caught by the sanitizer on
+  the first elided use, quarantining the whole table (fail closed);
+* a proof compiled for a different topology never corrupts anything: it
+  can only miss, or hit on genuinely identical label values (which is
+  sound by construction);
+* the in-simulation invalidation hooks — a covered port's label being
+  rewritten outside the assumed set, a covered port passed in a message
+  — bump the epoch from inside the machine, after which no stub hits
+  land and the full checked path takes over.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.analysis.extract import TopologyRecorder
+from repro.analysis.proofs import ProofError, _Pool, compile_proofs, load_proofs, write_proofs
+from repro.analysis.sanitizer import SanitizerViolation
+from repro.core.chunks import ChunkedLabel
+from repro.core.interning import InternTable
+from repro.core.labels import Label
+from repro.core.levels import L1, L2, L3
+from repro.kernel import NewPort, Recv, Send, SetPortLabel
+from repro.kernel.config import KernelConfig
+from repro.kernel.kernel import Kernel
+from repro.sim.runner import build_echo_site
+from repro.sim.workload import HttpClient
+
+
+def _requests(n_users):
+    return [(f"u{i}", f"pw{i}", "echo", None, {"length": 11}) for i in range(n_users)]
+
+
+def _compile_echo_proofs(n_users, warm_rounds=2, concurrency=4):
+    site = build_echo_site(n_users, config=KernelConfig())
+    client = HttpClient(site)
+    requests = _requests(n_users)
+    for _ in range(warm_rounds):
+        client.run_batch(requests, concurrency=concurrency)
+    recorder = TopologyRecorder(site.kernel)
+    client.run_batch(requests, concurrency=concurrency)
+    return compile_proofs(recorder.build(f"adversarial-{n_users}"))
+
+
+def _run_elided(n_users, path, rounds=4, concurrency=4, **extra):
+    config = KernelConfig(
+        intern_labels=True,
+        elide_checks=True,
+        proof_path=path,
+        labelop_cache_size=1 << 12,
+        **extra,
+    )
+    site = build_echo_site(n_users, config=config)
+    client = HttpClient(site)
+    payloads = []
+    for _ in range(rounds):
+        payloads.extend(
+            r.payload
+            for r in client.run_batch(_requests(n_users), concurrency=concurrency)
+        )
+    return site.kernel, payloads
+
+
+def _poison_ref(doc):
+    """Add a valid-fingerprint but wrong label to the pool and return its
+    reference — the forgery a malicious (or buggy) emitter could ship."""
+    table = InternTable()
+    pool = _Pool(table)
+    poison = table.intern(ChunkedLabel.from_label(Label({9999: L3}, L1)))
+    ref = pool.ref(poison)
+    doc["labels"].update(pool.to_json())
+    return ref
+
+
+# -- load-time rejection ------------------------------------------------------------
+
+
+def test_forged_label_body_is_rejected_at_load():
+    doc = _compile_echo_proofs(3)
+    fp, body = next(iter(doc["labels"].items()))
+    tampered = json.loads(json.dumps(doc))
+    # Flip the label's default without recomputing the fingerprint.
+    tampered["labels"][fp] = dict(body, default=int(L2))
+    with pytest.raises(ProofError):
+        load_proofs(tampered)
+
+
+def test_dangling_label_reference_is_rejected_at_load():
+    doc = _compile_echo_proofs(3)
+    tampered = json.loads(json.dumps(doc))
+    assert tampered["delivers"], "expected at least one deliver stub"
+    tampered["delivers"][0]["qr"] = "f" * 16
+    with pytest.raises(ProofError):
+        load_proofs(tampered)
+
+
+def test_unknown_schema_is_rejected_at_load():
+    doc = _compile_echo_proofs(3)
+    with pytest.raises(ProofError):
+        load_proofs(dict(doc, schema="proofs/v999"))
+
+
+# -- corrupted effect deltas: caught on first use, fail closed ----------------------
+
+
+def test_corrupted_effect_delta_quarantines_on_first_elided_use():
+    doc = _compile_echo_proofs(6)
+    ref = _poison_ref(doc)
+    for record in doc["delivers"]:
+        record["new_qs_core"] = ref
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        kernel, payloads = _run_elided(
+            6, path, sanitize=True, sanitize_strict=False
+        )
+    table = kernel.flow_table
+    # The sanitizer replays the FIRST use of every stub key, so the very
+    # first deliver-stub hit is flagged and the whole table quarantined:
+    # one poisoned delivery, zero after it.
+    assert kernel.sanitizer is not None
+    assert kernel.sanitizer.violations != []
+    assert table.quarantines == 1
+    assert table.deliver_hits == 1
+    assert table.valid is False
+    assert any("sanitizer" in r for r in table.invalidation_reasons)
+    # Fail closed: every connection still completed via the full path.
+    assert len(payloads) == 6 * 4
+
+
+def test_corrupted_effect_delta_raises_under_strict_sanitizer():
+    doc = _compile_echo_proofs(6)
+    ref = _poison_ref(doc)
+    for record in doc["delivers"]:
+        record["new_qs_core"] = ref
+        record["new_qr_core"] = ref
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        with pytest.raises(SanitizerViolation):
+            _run_elided(6, path, sanitize=True, sanitize_strict=True)
+
+
+# -- wrong-topology proofs can only miss (or hit soundly) ---------------------------
+
+
+def test_wrong_topology_proofs_never_corrupt_the_replay():
+    doc = _compile_echo_proofs(3)
+    n_users = 7
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        elided_kernel, elided_payloads = _run_elided(
+            n_users, path, sanitize=True, sanitize_strict=True
+        )
+    site = build_echo_site(n_users, config=KernelConfig())
+    client = HttpClient(site)
+    plain_payloads = []
+    for _ in range(4):
+        plain_payloads.extend(
+            r.payload for r in client.run_batch(_requests(n_users), concurrency=4)
+        )
+    assert elided_payloads == plain_payloads
+    assert site.kernel.drop_log.records == elided_kernel.drop_log.records
+    for key, task in site.kernel.tasks.items():
+        other = elided_kernel.tasks[key]
+        assert task.send_label.to_label() == other.send_label.to_label(), key
+        assert task.receive_label.to_label() == other.receive_label.to_label(), key
+    # Content addressing makes any hit that does land sound; the strict
+    # sanitizer (which replayed every stub key's first use) agrees.
+    assert elided_kernel.sanitizer.violations == []
+    assert elided_kernel.flow_table.quarantines == 0
+
+
+# -- stale proofs: epoch bump stops elision, full path takes over -------------------
+
+
+def test_stale_proofs_stop_eliding_and_fail_closed():
+    doc = _compile_echo_proofs(4)
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        config = KernelConfig(
+            intern_labels=True,
+            elide_checks=True,
+            proof_path=path,
+            labelop_cache_size=1 << 12,
+        )
+        site = build_echo_site(4, config=config)
+        table = site.kernel.flow_table
+        site.kernel._proofs_invalidate("simulated staleness")
+        # Boot bring-up may have hit send stubs already; the point is
+        # that nothing elides *after* the proofs go stale.
+        hits_at_staleness = table.deliver_hits + table.send_hits
+        client = HttpClient(site)
+        payloads = []
+        for _ in range(3):
+            payloads.extend(
+                r.payload for r in client.run_batch(_requests(4), concurrency=4)
+            )
+    assert table.valid is False
+    assert table.epoch == 1
+    assert table.deliver_hits + table.send_hits == hits_at_staleness
+    assert table.deliver_hits == 0  # no delivery ever elided
+    assert len(payloads) == 12  # every connection served by the full path
+
+
+# -- in-simulation invalidation hooks ----------------------------------------------
+
+
+def _pingpong_scenario(kernel, n_messages, twist=None):
+    """A server draining a labelled inbox; *twist* (if given) runs inside
+    the server after the second message and may return True to signal
+    the server gave its port away.  A helper process with its own port
+    exists in every run (handle determinism), but only the passage twist
+    ever messages it.  Returns (server, helper)."""
+
+    def helper(ctx):
+        hinbox = yield NewPort()
+        yield SetPortLabel(hinbox, Label.top())
+        ctx.env["inbox"] = hinbox
+        got = []
+        ctx.env["got"] = got
+        msg = yield Recv(port=hinbox)
+        moved = msg.payload["moved"]
+        while True:
+            m = yield Recv(port=moved)
+            if m.payload == "stop":
+                break
+            got.append(m.payload)
+
+    def server(ctx):
+        inbox = yield NewPort()
+        yield SetPortLabel(inbox, Label.top())
+        ctx.env["inbox"] = inbox
+        got = []
+        ctx.env["got"] = got
+        while True:
+            msg = yield Recv(port=inbox)
+            if msg.payload == "stop":
+                break
+            got.append(msg.payload)
+            if twist is not None and len(got) == 2:
+                moved_away = yield from twist(inbox, helper_proc)
+                if moved_away:
+                    return
+
+    srv = kernel.spawn(server, "server")
+    helper_proc = kernel.spawn(helper, "helper")
+    kernel.run()
+
+    def client(ctx):
+        for i in range(n_messages):
+            yield Send(srv.env["inbox"], f"m{i}")
+        yield Send(srv.env["inbox"], "stop")
+
+    kernel.spawn(client, "client")
+    kernel.run()
+    return srv, helper_proc
+
+
+def _pingpong_proofs(n_messages):
+    kernel = Kernel(config=KernelConfig())
+    recorder = TopologyRecorder(kernel)
+    _pingpong_scenario(kernel, n_messages)
+    topology = recorder.build("pingpong")
+    assert topology.validate() == []
+    return compile_proofs(topology)
+
+
+def _elided_pingpong(path, n_messages, twist=None):
+    kernel = Kernel(
+        config=KernelConfig(
+            intern_labels=True, elide_checks=True, proof_path=path
+        )
+    )
+    srv, helper = _pingpong_scenario(kernel, n_messages, twist=twist)
+    return kernel, srv, helper
+
+
+def test_pingpong_baseline_elides_without_invalidating():
+    doc = _pingpong_proofs(8)
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        kernel, srv, _ = _elided_pingpong(path, 8)
+    table = kernel.flow_table
+    assert srv.env["got"] == [f"m{i}" for i in range(8)]
+    assert table.valid is True
+    assert table.deliver_hits > 0
+    assert table.invalidations == 0
+
+
+def test_port_label_rewrite_outside_assumed_set_invalidates():
+    doc = _pingpong_proofs(8)
+
+    def rewrite(inbox, _helper):
+        yield SetPortLabel(inbox, Label({50: L2}, L3))
+
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        kernel, srv, _ = _elided_pingpong(path, 8, twist=rewrite)
+    table = kernel.flow_table
+    # The rewrite is a real in-simulation event on a covered port whose
+    # new value the proofs never assumed: the hook must bump the epoch,
+    # and every message must still arrive via the full checked path.
+    assert srv.env["got"] == [f"m{i}" for i in range(8)]
+    assert table.valid is False
+    assert table.invalidations == 1
+    assert any("set_port_label" in r for r in table.invalidation_reasons)
+    assert table.quarantines == 0
+
+
+def test_covered_port_passage_invalidates():
+    doc = _pingpong_proofs(8)
+
+    with tempfile.TemporaryDirectory(prefix="repro-elide-adv-") as scratch:
+        path = os.path.join(scratch, "proofs.json")
+        write_proofs(doc, path)
+        kernel = Kernel(
+            config=KernelConfig(
+                intern_labels=True, elide_checks=True, proof_path=path
+            )
+        )
+        def passage(inbox, helper):
+            # Hand the covered inbox's receive rights to the helper; the
+            # proofs assumed the server owned it forever.
+            yield Send(helper.env["inbox"], {"moved": inbox}, transfer=(inbox,))
+            return True
+
+        srv, helper = _pingpong_scenario(kernel, 8, twist=passage)
+    table = kernel.flow_table
+    # The server saw the first two messages; after the passage the helper
+    # drained the rest — nothing was lost, nothing was elided unsoundly.
+    assert srv.env["got"] == ["m0", "m1"]
+    assert helper.env["got"] == [f"m{i}" for i in range(2, 8)]
+    assert table.valid is False
+    assert table.invalidations == 1
+    assert any("port passage" in r for r in table.invalidation_reasons)
+    assert table.quarantines == 0
